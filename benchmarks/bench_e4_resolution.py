@@ -1,0 +1,100 @@
+"""E4 — Content resolution protocol: push vs pull (Fig. 4, §IV-C).
+
+Two configurations of the same bottom-up transfer workload:
+
+- **push**: destination peers cache the batches pushed when checkpoints
+  are submitted, so at application time content is already local;
+- **pull**: destination peers discard pushes (peers "may choose to …
+  discard them"), forcing an explicit pull round trip to the source subnet.
+
+Expected shape: both configurations deliver everything; pull adds pubsub
+round trips (visible in the message counters) and a small latency penalty
+relative to the checkpoint-dominated end-to-end time.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.hierarchy import ROOTNET
+
+from common import build_hierarchy, run_once
+
+BLOCK_TIME = 0.25
+PERIOD = 8
+N_TRANSFERS = 10
+
+
+def _run_mode(seed: int, drop_pushes: bool):
+    system, (subnet,) = build_hierarchy(
+        seed=seed, n_subnets=1, subnet_block_time=BLOCK_TIME,
+        checkpoint_period=PERIOD,
+    )
+    if drop_pushes:
+        for node in system.nodes(ROOTNET):
+            node.resolution.cache_pushes = False
+    system.provision_treasury(subnet, 10**9)
+    treasury = system.treasury
+
+    latencies = []
+    for i in range(N_TRANSFERS):
+        sink = system.create_wallet(f"e4-{'pull' if drop_pushes else 'push'}-{i}")
+        start = system.sim.now
+        system.cross_send(treasury, subnet, ROOTNET, sink.address, 100)
+        ok = system.wait_for(
+            lambda: system.balance(ROOTNET, sink.address) == 100, timeout=120.0
+        )
+        if not ok:
+            raise RuntimeError("transfer lost")
+        latencies.append(system.sim.now - start)
+    metrics = system.sim.metrics
+    return {
+        "latencies": latencies,
+        "push_stored": metrics.counter("resolution.push_stored").value,
+        "pull_sent": metrics.counter("resolution.pull_sent").value,
+        "pull_served": metrics.counter("resolution.pull_served").value,
+        "resolved": metrics.counter("resolution.resolved").value,
+    }
+
+
+@pytest.mark.benchmark(group="e4")
+def test_e4_push_vs_pull_resolution(benchmark):
+    def experiment():
+        return {
+            "push": _run_mode(411, drop_pushes=False),
+            "pull": _run_mode(412, drop_pushes=True),
+        }
+
+    results = run_once(benchmark, experiment)
+
+    table = Table(
+        "E4 — content resolution: push vs pull "
+        f"({N_TRANSFERS} bottom-up transfers, window {BLOCK_TIME * PERIOD:.1f}s)",
+        ["mode", "mean latency (s)", "max latency (s)",
+         "pushes stored", "pulls sent", "pulls served", "resolves recvd"],
+    )
+    for mode in ("push", "pull"):
+        r = results[mode]
+        table.add_row(
+            mode,
+            sum(r["latencies"]) / len(r["latencies"]),
+            max(r["latencies"]),
+            r["push_stored"], r["pull_sent"], r["pull_served"], r["resolved"],
+        )
+    table.show()
+
+    push, pull = results["push"], results["pull"]
+    # Push mode: destination cached pushes; essentially no pull traffic
+    # needed for delivery (the pool may still race a request before the
+    # push lands, but content arrives either way).
+    assert push["push_stored"] > 0
+    # Pull mode: pushes were discarded at the destination; delivery required
+    # explicit pull round trips that the source served.
+    assert pull["pull_sent"] > 0
+    assert pull["pull_served"] > 0
+    assert pull["resolved"] > 0
+    # Both modes deliver; pull pays extra messages, not orders of magnitude
+    # of latency (the checkpoint window dominates end-to-end time).
+    assert len(push["latencies"]) == len(pull["latencies"]) == N_TRANSFERS
+    push_mean = sum(push["latencies"]) / N_TRANSFERS
+    pull_mean = sum(pull["latencies"]) / N_TRANSFERS
+    assert pull_mean < push_mean + 3 * BLOCK_TIME * PERIOD

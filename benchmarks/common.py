@@ -1,0 +1,80 @@
+"""Shared helpers for the experiment benchmarks (E1–E10).
+
+Each ``bench_eN_*.py`` module regenerates one figure/claim from the paper
+(see DESIGN.md §3 for the experiment index and EXPERIMENTS.md for
+paper-vs-measured results).  Benchmarks print a result table and assert the
+*shape* the paper implies — who wins, roughly by how much, where the
+crossovers are — not absolute numbers, since the substrate is a simulator.
+"""
+
+from __future__ import annotations
+
+from repro.hierarchy import HierarchicalSystem, SubnetConfig
+from repro.workloads import PaymentWorkload
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def build_hierarchy(
+    seed: int,
+    n_subnets: int,
+    subnet_validators: int = 3,
+    subnet_block_time: float = 0.25,
+    checkpoint_period: int = 10,
+    engine: str = "poa",
+    max_block_messages: int = 500,
+    root_block_time: float = 0.5,
+    wallet_funds=None,
+):
+    """A rootnet plus *n_subnets* sibling subnets, started."""
+    system = HierarchicalSystem(
+        seed=seed,
+        root_validators=3,
+        root_block_time=root_block_time,
+        checkpoint_period=checkpoint_period,
+        wallet_funds=wallet_funds or {},
+    ).start()
+    subnets = []
+    for i in range(n_subnets):
+        subnets.append(
+            system.spawn_subnet(
+                SubnetConfig(
+                    name=f"s{i}",
+                    validators=subnet_validators,
+                    engine=engine,
+                    block_time=subnet_block_time,
+                    checkpoint_period=checkpoint_period,
+                    max_block_messages=max_block_messages,
+                )
+            )
+        )
+    return system, subnets
+
+
+def fund_subnet_senders(system, subnet, n_senders: int, funds: int, tag: str):
+    """Create and fund *n_senders* wallets inside *subnet* (in-protocol)."""
+    wallets = [
+        system.create_wallet(f"{tag}-{subnet.name}-{i}") for i in range(n_senders)
+    ]
+    for wallet in wallets:
+        system.fund_subnet(system.treasury, subnet, wallet.address, funds)
+    ok = system.wait_for(
+        lambda: all(system.balance(subnet, w.address) >= funds for w in wallets),
+        timeout=120.0,
+    )
+    if not ok:
+        raise RuntimeError(f"funding senders in {subnet} timed out")
+    return wallets
+
+
+def start_subnet_payments(system, subnet, wallets, rate: float) -> PaymentWorkload:
+    return PaymentWorkload(
+        system.sim,
+        system.nodes(subnet),
+        wallets,
+        rate=rate,
+        rng_scope=f"bench-{subnet.path}",
+    ).start()

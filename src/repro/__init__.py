@@ -1,0 +1,67 @@
+"""Hierarchical Consensus: a horizontal scaling framework for blockchains.
+
+A full-system reproduction of de la Rocha, Kokoris-Kogias, Soares & Vukolic
+(ICDCS 2022) on a deterministic discrete-event simulator: subnets spawned
+on demand anywhere in the hierarchy, per-subnet consensus engines,
+checkpoint anchoring, cross-net messages with firewall-bounded security,
+content resolution, and atomic cross-net executions.
+
+Quickstart::
+
+    from repro import HierarchicalSystem, SubnetConfig
+
+    system = HierarchicalSystem(seed=42, wallet_funds={"alice": 100_000})
+    system.start()
+    subnet = system.spawn_subnet(SubnetConfig(name="fast", engine="tendermint"))
+    alice = system.wallets["alice"]
+    system.fund_subnet(alice, subnet, alice.address, 50_000)
+    system.run_for(30)
+    print(system.balance(subnet, alice.address))
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the experiment
+index.
+"""
+
+from repro.hierarchy import (
+    ROOTNET,
+    Checkpoint,
+    CompromisedSubnet,
+    CrossMsg,
+    CrossMsgMeta,
+    HierarchicalSystem,
+    SCA_ADDRESS,
+    SignaturePolicy,
+    SignedCheckpoint,
+    SpawnError,
+    SubnetConfig,
+    SubnetID,
+    Wallet,
+    audit_system,
+)
+from repro.hierarchy.atomic import AtomicExecutionClient, AtomicParty, swap_executor
+from repro.baselines import SingleChainBaseline, ShardedBaseline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ROOTNET",
+    "Checkpoint",
+    "CompromisedSubnet",
+    "CrossMsg",
+    "CrossMsgMeta",
+    "HierarchicalSystem",
+    "SCA_ADDRESS",
+    "SignaturePolicy",
+    "SignedCheckpoint",
+    "SpawnError",
+    "SubnetConfig",
+    "SubnetID",
+    "Wallet",
+    "audit_system",
+    "AtomicExecutionClient",
+    "AtomicParty",
+    "swap_executor",
+    "SingleChainBaseline",
+    "ShardedBaseline",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Result analysis and report formatting for the bench harness."""
+
+from repro.analysis.stats import percentile, mean, stdev, summarize
+from repro.analysis.report import Table
+
+__all__ = ["percentile", "mean", "stdev", "summarize", "Table"]

@@ -1,0 +1,48 @@
+"""Small, dependency-free statistics helpers used by the bench harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    values = list(values)
+    if not values:
+        return math.nan
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated q-th percentile, q in [0, 100]."""
+    ordered = sorted(values)
+    if not ordered:
+        return math.nan
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    rank = (q / 100) * (len(ordered) - 1)
+    low, high = int(math.floor(rank)), int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def summarize(values: Sequence[float]) -> dict:
+    values = list(values)
+    return {
+        "count": len(values),
+        "mean": mean(values),
+        "p50": percentile(values, 50) if values else math.nan,
+        "p95": percentile(values, 95) if values else math.nan,
+        "min": min(values) if values else math.nan,
+        "max": max(values) if values else math.nan,
+    }

@@ -1,0 +1,15 @@
+"""Baselines the paper positions hierarchical consensus against.
+
+- :mod:`repro.baselines.single_chain` — the monolithic chain ("present-day
+  Filecoin", §II): every transaction ordered by one validator set.  This is
+  the throughput baseline for E1.
+- :mod:`repro.baselines.sharded` — traditional sharding (§I, §V): validators
+  are *assigned* to shards by the protocol and periodically reshuffled to
+  resist adaptive adversaries; a compromised shard has no firewall.  Used by
+  E1 (throughput with reshuffle overhead) and E6 (1%-attack comparison).
+"""
+
+from repro.baselines.single_chain import SingleChainBaseline
+from repro.baselines.sharded import ShardedBaseline, shard_compromise_probability
+
+__all__ = ["SingleChainBaseline", "ShardedBaseline", "shard_compromise_probability"]

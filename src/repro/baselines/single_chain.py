@@ -1,0 +1,96 @@
+"""The monolithic single-chain baseline.
+
+"The system starts with a rootnet which, at first, keeps the entire state
+and processes all the transactions in the system (like present-day
+Filecoin)" (§II).  This class runs exactly that: one validator set, one
+chain, every transaction totally ordered by it.  Its throughput ceiling is
+what hierarchical consensus scales past in E1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.crypto.keys import KeyPair
+from repro.chain.node import ChainNode
+from repro.consensus.base import ConsensusParams, Validator, ValidatorSet
+from repro.hierarchy.genesis import subnet_genesis
+from repro.hierarchy.subnet_id import ROOTNET
+from repro.hierarchy.wallet import Wallet
+from repro.net.gossip import GossipNetwork
+from repro.net.topology import Topology, UniformLatency
+from repro.net.transport import Transport
+from repro.sim.scheduler import Simulator
+
+
+class SingleChainBaseline:
+    """One chain, one validator set, all transactions."""
+
+    def __init__(
+        self,
+        seed: int = 1,
+        validators: int = 4,
+        engine: str = "poa",
+        block_time: float = 1.0,
+        latency: float = 0.02,
+        max_block_messages: int = 500,
+        wallet_funds: Optional[dict] = None,
+    ) -> None:
+        self.sim = Simulator(seed=seed)
+        topology = Topology(UniformLatency(base=latency, jitter=latency / 2))
+        self.gossip = GossipNetwork(self.sim, Transport(self.sim, topology))
+        self.wallets = {
+            name: Wallet(KeyPair(("baseline-wallet", name)))
+            for name in (wallet_funds or {})
+        }
+        allocations = {
+            self.wallets[name].address: funds
+            for name, funds in (wallet_funds or {}).items()
+        }
+        genesis_block, genesis_vm = subnet_genesis(ROOTNET, allocations=allocations)
+        keys = [KeyPair(("baseline-validator", i)) for i in range(validators)]
+        validator_set = ValidatorSet(
+            Validator(node_id=f"base#{i}", address=keys[i].address, power=1)
+            for i in range(validators)
+        )
+        params = ConsensusParams(
+            engine=engine, block_time=block_time, max_block_messages=max_block_messages
+        )
+        self.nodes = [
+            ChainNode(
+                sim=self.sim,
+                node_id=f"base#{i}",
+                keypair=keys[i],
+                subnet_id="/root",
+                genesis_block=genesis_block,
+                genesis_vm=genesis_vm,
+                gossip=self.gossip,
+                validators=validator_set,
+                consensus_params=params,
+            )
+            for i in range(validators)
+        ]
+
+    def start(self) -> "SingleChainBaseline":
+        for node in self.nodes:
+            node.start()
+        return self
+
+    def run_for(self, seconds: float) -> "SingleChainBaseline":
+        self.sim.run_until(self.sim.now + seconds)
+        return self
+
+    @property
+    def node(self) -> ChainNode:
+        return self.nodes[0]
+
+    def committed_tx_count(self) -> int:
+        """User transactions on the canonical chain."""
+        return sum(len(b.messages) for b in self.node.store.canonical_chain())
+
+    def throughput(self) -> float:
+        """Committed transactions per simulated second."""
+        head = self.node.head()
+        if head is None or head.header.timestamp == 0:
+            return 0.0
+        return self.committed_tx_count() / head.header.timestamp

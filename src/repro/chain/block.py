@@ -1,0 +1,101 @@
+"""Block headers and full blocks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.crypto.cid import CID, cid_of
+from repro.crypto.keys import Address
+from repro.crypto.merkle import MerkleTree
+
+ZERO_CID = CID(b"\x00" * 32)
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """A subnet chain block header.
+
+    ``consensus_data`` carries engine-specific fields (round numbers, PoW
+    ticket values, proposer signatures) as a plain dict so the chain layer
+    stays engine-agnostic.
+    """
+
+    subnet_id: str
+    height: int
+    parent: CID
+    state_root: CID
+    messages_root: CID
+    timestamp: float
+    miner: Address
+    consensus_data: dict = field(default_factory=dict)
+
+    def to_canonical(self):
+        return (
+            self.subnet_id,
+            self.height,
+            self.parent.to_canonical(),
+            self.state_root.to_canonical(),
+            self.messages_root.to_canonical(),
+            self.timestamp,
+            self.miner.raw,
+            self.consensus_data,
+        )
+
+    @property
+    def cid(self) -> CID:
+        # Headers are immutable and hashed constantly (fork choice, ancestry
+        # walks, gossip dedup): cache the CID on first computation.
+        cached = self.__dict__.get("_cid")
+        if cached is None:
+            cached = cid_of(self)
+            object.__setattr__(self, "_cid", cached)
+        return cached
+
+    @property
+    def is_genesis(self) -> bool:
+        return self.height == 0 and self.parent == ZERO_CID
+
+
+@dataclass(frozen=True)
+class FullBlock:
+    """A header plus its message payloads.
+
+    ``messages`` are user-signed messages from the subnet mempool;
+    ``cross_messages`` are cross-net messages proposed by the consensus from
+    the cross-msg pool (§IV-B: "Blocks in subnets include both messages
+    originated within the subnet and cross-msgs targeting (or traversing)
+    the subnet").
+    """
+
+    header: BlockHeader
+    messages: tuple = field(default_factory=tuple)
+    cross_messages: tuple = field(default_factory=tuple)
+
+    @property
+    def cid(self) -> CID:
+        return self.header.cid
+
+    @property
+    def height(self) -> int:
+        return self.header.height
+
+    def to_canonical(self):
+        return (
+            self.header.to_canonical(),
+            tuple(m.to_canonical() for m in self.messages),
+            tuple(m.to_canonical() for m in self.cross_messages),
+        )
+
+    @staticmethod
+    def compute_messages_root(messages, cross_messages) -> CID:
+        """Commitment over both message lists, stored in the header."""
+        leaves = [("msg", m.cid.to_canonical()) for m in messages]
+        leaves += [("cross", m.cid.to_canonical()) for m in cross_messages]
+        return MerkleTree(leaves).root_cid
+
+    def messages_root_matches(self) -> bool:
+        return (
+            self.compute_messages_root(self.messages, self.cross_messages)
+            == self.header.messages_root
+        )

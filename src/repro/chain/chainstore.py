@@ -1,0 +1,191 @@
+"""Chain storage: blocks by CID, heads, forks and reorgs."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro.crypto.cid import CID
+from repro.chain.block import FullBlock, ZERO_CID
+
+
+class ChainStore:
+    """Stores a subnet's blocks and tracks the canonical head.
+
+    Fork choice is "heaviest chain" by a per-block weight supplied at add
+    time (PoW uses accumulated work ≈ height; BFT engines never fork, so
+    weight is just height).  Reorg notifications fire with the old and new
+    head so chain watchers (mempool, checkpointing, cross-msg pool) can
+    react.
+
+    ``state_snapshots`` optionally caches the flattened VM state after each
+    block, enabling cheap head switches for fork-capable engines; entries
+    older than ``prune_depth`` below the head are discarded.
+    """
+
+    def __init__(self, prune_depth: int = 64) -> None:
+        self._blocks: dict[CID, FullBlock] = {}
+        self._weights: dict[CID, int] = {}
+        self._children: dict[CID, list[CID]] = {}
+        self._head: Optional[CID] = None
+        self._genesis: Optional[CID] = None
+        self.prune_depth = prune_depth
+        self._state_snapshots: dict[CID, dict] = {}
+        self._reorg_listeners: list[Callable[[Optional[CID], CID], None]] = []
+        # canonical height index, rebuilt lazily after reorgs
+        self._canonical: dict[int, CID] = {}
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def head(self) -> Optional[FullBlock]:
+        return self._blocks.get(self._head) if self._head else None
+
+    @property
+    def head_cid(self) -> Optional[CID]:
+        return self._head
+
+    @property
+    def genesis(self) -> Optional[FullBlock]:
+        return self._blocks.get(self._genesis) if self._genesis else None
+
+    @property
+    def height(self) -> int:
+        head = self.head
+        return head.height if head else -1
+
+    def get(self, cid: CID) -> FullBlock:
+        return self._blocks[cid]
+
+    def get_optional(self, cid: CID) -> Optional[FullBlock]:
+        return self._blocks.get(cid)
+
+    def has(self, cid: CID) -> bool:
+        return cid in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def block_at_height(self, height: int) -> Optional[FullBlock]:
+        """Canonical-chain block at *height* (walks back from the head)."""
+        cid = self._canonical.get(height)
+        return self._blocks.get(cid) if cid else None
+
+    def ancestors(self, cid: CID) -> Iterator[FullBlock]:
+        """Yield the chain from *cid* back to genesis (inclusive)."""
+        current = cid
+        while current != ZERO_CID:
+            block = self._blocks.get(current)
+            if block is None:
+                return
+            yield block
+            current = block.header.parent
+
+    def canonical_chain(self) -> list:
+        """The canonical chain, genesis first."""
+        if self._head is None:
+            return []
+        chain = list(self.ancestors(self._head))
+        chain.reverse()
+        return chain
+
+    def is_canonical(self, cid: CID) -> bool:
+        block = self._blocks.get(cid)
+        if block is None:
+            return False
+        return self._canonical.get(block.height) == cid
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_block(self, block: FullBlock, weight: Optional[int] = None) -> bool:
+        """Store *block*; returns True if the canonical head changed.
+
+        *weight* defaults to parent weight + 1 (≈ height).  The heaviest
+        known tip becomes the head; ties keep the incumbent (first-seen
+        wins, as in most longest-chain implementations).
+        """
+        cid = block.cid
+        if cid in self._blocks:
+            return False
+        parent = block.header.parent
+        if block.header.is_genesis:
+            if self._genesis is not None:
+                raise ValueError("genesis already set")
+            self._genesis = cid
+        elif parent not in self._blocks:
+            raise KeyError(f"orphan block: parent {parent.short()} unknown")
+        self._blocks[cid] = block
+        parent_weight = self._weights.get(parent, 0)
+        self._weights[cid] = parent_weight + 1 if weight is None else weight
+        self._children.setdefault(parent, []).append(cid)
+
+        if self._head is None or self._weights[cid] > self._weights[self._head]:
+            old_head = self._head
+            self._head = cid
+            if old_head is not None and parent == old_head:
+                # Plain extension: one incremental index entry, no O(chain)
+                # rebuild (which would make long runs quadratic).
+                self._canonical[block.height] = cid
+            else:
+                self._rebuild_canonical()
+            self._prune_snapshots()
+            if old_head is not None and self._blocks[old_head].header.parent != ZERO_CID:
+                pass  # plain extension or reorg — listeners decide via ancestry
+            for listener in self._reorg_listeners:
+                listener(old_head, cid)
+            return True
+        return False
+
+    def _rebuild_canonical(self) -> None:
+        self._canonical = {}
+        for block in self.ancestors(self._head):
+            self._canonical[block.height] = block.cid
+
+    def on_head_change(self, listener: Callable[[Optional[CID], CID], None]) -> None:
+        """Register a listener called as ``listener(old_head, new_head)``."""
+        self._reorg_listeners.append(listener)
+
+    def is_extension(self, old_head: Optional[CID], new_head: CID) -> bool:
+        """True when *new_head* is a descendant of *old_head* (no reorg)."""
+        if old_head is None:
+            return True
+        for block in self.ancestors(new_head):
+            if block.cid == old_head:
+                return True
+            if block.height <= self._blocks[old_head].height:
+                break
+        return False
+
+    # ------------------------------------------------------------------
+    # State snapshots (for fork-capable engines)
+    # ------------------------------------------------------------------
+    def put_state(self, cid: CID, flat_state: dict) -> None:
+        self._state_snapshots[cid] = flat_state
+
+    def get_state(self, cid: CID) -> Optional[dict]:
+        return self._state_snapshots.get(cid)
+
+    def _prune_snapshots(self) -> None:
+        if self._head is None:
+            return
+        horizon = self._blocks[self._head].height - self.prune_depth
+        if horizon <= 0:
+            return
+        stale = [
+            cid
+            for cid in self._state_snapshots
+            if cid in self._blocks and self._blocks[cid].height < horizon
+        ]
+        for cid in stale:
+            del self._state_snapshots[cid]
+
+    # ------------------------------------------------------------------
+    # Fork metrics
+    # ------------------------------------------------------------------
+    def fork_count(self) -> int:
+        """Number of blocks ever stored that are not on the canonical chain."""
+        return sum(1 for cid in self._blocks if not self.is_canonical(cid))
+
+    def weight_of(self, cid: CID) -> int:
+        return self._weights.get(cid, 0)

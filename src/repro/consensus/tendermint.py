@@ -1,0 +1,325 @@
+"""Tendermint-style BFT consensus.
+
+The paper's prototype integrates Tendermint as a subnet engine (§VI).  This
+is an event-driven implementation of the core algorithm from Buchman, Kwon &
+Milosevic, "The latest gossip on BFT consensus" (arXiv:1807.04938):
+
+- heights decided sequentially; each height runs rounds ``r = 0, 1, …``;
+- the proposer of ``(h, r)`` is ``validators[(h + r) mod n]``;
+- steps: PROPOSE → PREVOTE → PRECOMMIT with per-step timeouts;
+- a *polka* (>2/3 prevotes for one block) locks the validator on that block;
+- >2/3 precommits for a block commit it (instant finality);
+- nil votes and round changes handle faulty/slow proposers.
+
+Byzantine behaviours available for experiments: ``withhold_vote``,
+``withhold_block`` and ``equivocate_vote`` (double-voting, which produces
+the evidence used for slashing in checkpoint fraud proofs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.crypto.cid import CID
+from repro.chain.block import FullBlock
+from repro.consensus.base import ConsensusEngine, register_engine
+
+PROPOSE, PREVOTE, PRECOMMIT = "propose", "prevote", "precommit"
+
+
+@dataclass(frozen=True)
+class Vote:
+    """A prevote or precommit.  ``block_cid`` of None is a nil vote."""
+
+    height: int
+    round: int
+    vote_type: str
+    block_cid: Optional[CID]
+    voter: str
+
+    def to_canonical(self):
+        cid = self.block_cid.to_canonical() if self.block_cid else None
+        return (self.height, self.round, self.vote_type, cid, self.voter)
+
+
+@register_engine
+class TendermintEngine(ConsensusEngine):
+    """Propose/prevote/precommit BFT with locking and round changes."""
+
+    NAME = "tendermint"
+    SUPPORTS_FORKS = False
+    INSTANT_FINALITY = True
+
+    def __init__(self, sim, node, validators, params) -> None:
+        super().__init__(sim, node, validators, params)
+        self.height = 0
+        self.round = 0
+        self.step = PROPOSE
+        self.locked_cid: Optional[CID] = None
+        self.locked_round = -1
+        self._proposals: dict[tuple, FullBlock] = {}  # (h, r) -> block
+        self._blocks: dict[CID, FullBlock] = {}
+        self._prevotes: dict[tuple, dict] = {}  # (h, r) -> voter -> cid/None
+        self._precommits: dict[tuple, dict] = {}
+        self._equivocations: list[tuple] = []  # (voter, vote_a, vote_b)
+        self._decided_heights: set[int] = set()
+        # Future-height traffic buffer: a lagging validator must not drop
+        # votes/proposals for heights it has not reached — peers GC their
+        # books after committing and never re-send (the catch-up problem
+        # block sync solves in production Tendermint).
+        self._future: dict[int, list] = {}  # height -> [(kind, payload, sender)]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        super().start()
+        head = self.node.head()
+        self.height = (head.height + 1) if head else 0
+        self._height_started_at = self.sim.now
+        self._start_round(0)
+
+    def proposer_for(self, height: int, round_: int):
+        return self.validators.round_robin(height + round_)
+
+    def _start_round(self, round_: int) -> None:
+        if not self.running:
+            return
+        self.round = round_
+        self.step = PROPOSE
+        proposer = self.proposer_for(self.height, round_)
+        self.sim.metrics.counter(
+            f"consensus.{self.node.subnet_id}.rounds"
+        ).inc()
+        if proposer.node_id == self.node.node_id:
+            self._propose()
+        # Whether or not we are the proposer, arm the propose timeout.
+        self._schedule_timeout(PROPOSE, self.height, round_)
+
+    def _propose(self) -> None:
+        if self.node.is_byzantine("withhold_block"):
+            self._metric("withheld").inc()
+            return
+        head = self.node.head()
+        if self.locked_cid is not None and self.locked_cid in self._blocks:
+            block = self._blocks[self.locked_cid]
+        else:
+            block = self.node.assemble_block(
+                height=self.height,
+                parent_cid=head.cid,
+                consensus_data={"engine": self.NAME, "round": self.round},
+            )
+        self._metric("proposed").inc()
+        payload = {"height": self.height, "round": self.round, "block": block}
+        self._on_proposal(payload, self.node.node_id)
+        self.node.broadcast("tm:proposal", payload)
+
+    # ------------------------------------------------------------------
+    # Timeouts
+    # ------------------------------------------------------------------
+    def _schedule_timeout(self, step: str, height: int, round_: int) -> None:
+        delay = self.params.timeout_propose if step == PROPOSE else self.params.timeout_vote
+        # Linear back-off keeps lagging validators able to catch up.
+        delay *= 1 + 0.5 * round_
+        self.sim.schedule(
+            delay, self._on_timeout, step, height, round_,
+            label=f"tm:timeout:{step}",
+        )
+
+    def _on_timeout(self, step: str, height: int, round_: int) -> None:
+        if not self.running or height != self.height or round_ != self.round:
+            return  # stale timeout from an older height/round
+        if step == PROPOSE and self.step == PROPOSE:
+            # No acceptable proposal: prevote nil.
+            self._cast_vote(PREVOTE, None)
+            self.step = PREVOTE
+            self._schedule_timeout(PREVOTE, height, round_)
+        elif step == PREVOTE and self.step == PREVOTE:
+            self._cast_vote(PRECOMMIT, None)
+            self.step = PRECOMMIT
+            self._schedule_timeout(PRECOMMIT, height, round_)
+        elif step == PRECOMMIT and self.step == PRECOMMIT:
+            self._start_round(round_ + 1)
+
+    # ------------------------------------------------------------------
+    # Voting
+    # ------------------------------------------------------------------
+    def _cast_vote(self, vote_type: str, block_cid: Optional[CID]) -> None:
+        if not self.validators.contains(self.node.node_id):
+            return  # observers do not vote
+        if self.node.is_byzantine("withhold_vote"):
+            self._metric("votes_withheld").inc()
+            return
+        vote = Vote(self.height, self.round, vote_type, block_cid, self.node.node_id)
+        self._on_vote(vote)
+        self.node.broadcast("tm:vote", vote)
+        if self.node.is_byzantine("equivocate_vote") and block_cid is not None:
+            # Double-vote: also vote nil for the same (h, r, type).
+            conflicting = Vote(self.height, self.round, vote_type, None, self.node.node_id)
+            self._metric("equivocations_sent").inc()
+            self.node.broadcast("tm:vote", conflicting)
+
+    def _vote_book(self, vote_type: str, height: int, round_: int) -> dict:
+        book = self._prevotes if vote_type == PREVOTE else self._precommits
+        return book.setdefault((height, round_), {})
+
+    def _record_vote(self, vote: Vote) -> bool:
+        """Store the vote; detect and log equivocation; returns acceptance."""
+        if not self.validators.contains(vote.voter):
+            return False
+        book = self._vote_book(vote.vote_type, vote.height, vote.round)
+        existing = book.get(vote.voter, _ABSENT)
+        if existing is not _ABSENT:
+            if existing != vote.block_cid:
+                self._equivocations.append((vote.voter, existing, vote.block_cid))
+                self._metric("equivocations_observed").inc()
+            return False  # first vote stands
+        book[vote.voter] = vote.block_cid
+        return True
+
+    def _tally(self, vote_type: str, height: int, round_: int) -> dict:
+        """Map block_cid (or None) → accumulated voting power."""
+        book = self._vote_book(vote_type, height, round_)
+        power: dict = {}
+        for voter, cid in book.items():
+            validator = self.validators.by_node(voter)
+            power[cid] = power.get(cid, 0) + validator.power
+        return power
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def handle(self, kind: str, payload: Any, sender: str) -> None:
+        if not self.running:
+            return
+        height = payload["height"] if kind == "tm:proposal" else getattr(payload, "height", None)
+        if height is not None and height > self.height:
+            if height <= self.height + 100:  # bounded buffer
+                self._future.setdefault(height, []).append((kind, payload, sender))
+            return
+        if kind == "tm:proposal":
+            self._on_proposal(payload, sender)
+        elif kind == "tm:vote":
+            self._on_vote(payload)
+
+    def _on_proposal(self, payload: dict, sender: str) -> None:
+        height, round_, block = payload["height"], payload["round"], payload["block"]
+        if height != self.height:
+            return
+        proposer = self.proposer_for(height, round_)
+        if block.header.miner != proposer.address:
+            self._metric("rejected").inc()
+            return
+        self._proposals[(height, round_)] = block
+        self._blocks[block.cid] = block
+        if round_ != self.round or self.step != PROPOSE:
+            return
+        # Prevote logic with locking: if locked, only prevote the locked
+        # block; otherwise prevote the proposal.
+        if self.locked_cid is not None and block.cid != self.locked_cid:
+            self._cast_vote(PREVOTE, self.locked_cid)
+        else:
+            self._cast_vote(PREVOTE, block.cid)
+        self.step = PREVOTE
+        self._schedule_timeout(PREVOTE, height, round_)
+
+    def _on_vote(self, vote: Vote) -> None:
+        if vote.height != self.height:
+            return
+        if not self._record_vote(vote):
+            return
+        if vote.vote_type == PREVOTE:
+            self._check_polka(vote.round)
+        else:
+            self._check_commit(vote.round)
+
+    def _check_polka(self, round_: int) -> None:
+        """On >2/3 prevotes for one block at the current round: lock+precommit."""
+        if round_ != self.round or self.step != PREVOTE:
+            return
+        tally = self._tally(PREVOTE, self.height, round_)
+        quorum = self.validators.quorum_power
+        for cid, power in tally.items():
+            if power >= quorum:
+                if cid is None:
+                    self._cast_vote(PRECOMMIT, None)
+                else:
+                    self.locked_cid = cid
+                    self.locked_round = round_
+                    self._cast_vote(PRECOMMIT, cid)
+                self.step = PRECOMMIT
+                self._schedule_timeout(PRECOMMIT, self.height, round_)
+                return
+
+    def _check_commit(self, round_: int) -> None:
+        """On >2/3 precommits for one block at any round of this height: commit."""
+        tally = self._tally(PRECOMMIT, self.height, round_)
+        quorum = self.validators.quorum_power
+        for cid, power in tally.items():
+            if cid is not None and power >= quorum:
+                block = self._blocks.get(cid)
+                if block is None:
+                    return  # wait for the proposal to arrive
+                self._commit(block)
+                return
+        # >2/3 nil precommits: move to the next round immediately.
+        if tally.get(None, 0) >= quorum and round_ == self.round and self.step == PRECOMMIT:
+            self._start_round(round_ + 1)
+
+    def _commit(self, block: FullBlock) -> None:
+        if block.height in self._decided_heights:
+            return
+        self._decided_heights.add(block.height)
+        self._observe_block_interval(block)
+        self.node.receive_block(block, final=True)
+        self._metric("committed").inc()
+        self.sim.metrics.histogram(
+            f"consensus.{self.node.subnet_id}.commit_round"
+        ).observe(self.round)
+        # Clean up and move to the next height, pacing to the target block
+        # interval (Tendermint's timeout_commit): consensus itself finishes
+        # in a few gossip round trips, so without pacing block rate would be
+        # network-bound instead of the configured block_time.
+        self._gc_height(self.height)
+        decided_height = self.height
+        self.height = block.height + 1
+        self.locked_cid = None
+        self.locked_round = -1
+        self.round = -1
+        self.step = "commit-wait"
+        elapsed = self.sim.now - getattr(self, "_height_started_at", self.sim.now)
+        pacing = max(0.0, self.params.block_time - elapsed)
+        self.sim.schedule(
+            pacing, self._begin_height, self.height, label="tm:pace"
+        )
+
+    def _begin_height(self, height: int) -> None:
+        if not self.running or height != self.height or self.step != "commit-wait":
+            return
+        self._height_started_at = self.sim.now
+        self._start_round(0)
+        # Replay any traffic that arrived while we lagged behind.
+        for kind, payload, sender in self._future.pop(self.height, []):
+            if kind == "tm:proposal":
+                self._on_proposal(payload, sender)
+            else:
+                self._on_vote(payload)
+        for stale in [h for h in self._future if h <= self.height]:
+            del self._future[stale]
+
+    def _gc_height(self, height: int) -> None:
+        for book in (self._prevotes, self._precommits):
+            for key in [k for k in book if k[0] <= height]:
+                del book[key]
+        for key in [k for k in self._proposals if k[0] <= height]:
+            block = self._proposals.pop(key)
+            self._blocks.pop(block.cid, None)
+
+    @property
+    def equivocation_evidence(self) -> list:
+        """Observed double-votes: (voter, first_cid, second_cid) tuples."""
+        return list(self._equivocations)
+
+
+_ABSENT = object()

@@ -1,0 +1,65 @@
+"""Content identifiers (CIDs).
+
+A CID is the sha-256 digest of a value's canonical encoding, as in the paper:
+"Checkpoints are always identified through their Content Identifier (CID), a
+unique identifier inferred from the checkpoint's hash" (§III-B).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro.crypto.encoding import canonical_encode
+
+_PREFIX = "bafy"  # cosmetic, to make CIDs recognisable in traces
+
+
+class CID:
+    """An immutable content identifier."""
+
+    __slots__ = ("digest",)
+
+    def __init__(self, digest: bytes) -> None:
+        if not isinstance(digest, bytes) or len(digest) != 32:
+            raise ValueError("CID requires a 32-byte digest")
+        object.__setattr__(self, "digest", digest)
+
+    def __setattr__(self, name, value):  # immutability
+        raise AttributeError("CID is immutable")
+
+    @classmethod
+    def from_hex(cls, text: str) -> "CID":
+        if text.startswith(_PREFIX):
+            text = text[len(_PREFIX):]
+        return cls(bytes.fromhex(text))
+
+    def hex(self) -> str:
+        return self.digest.hex()
+
+    def short(self) -> str:
+        """Abbreviated form for logs and traces."""
+        return _PREFIX + self.digest.hex()[:10]
+
+    def to_canonical(self):
+        return self.digest
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CID) and other.digest == self.digest
+
+    def __hash__(self) -> int:
+        return hash(self.digest)
+
+    def __lt__(self, other: "CID") -> bool:
+        return self.digest < other.digest
+
+    def __repr__(self) -> str:
+        return f"CID({self.short()})"
+
+    def __str__(self) -> str:
+        return _PREFIX + self.digest.hex()
+
+
+def cid_of(value: Any) -> CID:
+    """Compute the CID of any canonically-encodable value."""
+    return CID(hashlib.sha256(canonical_encode(value)).digest())

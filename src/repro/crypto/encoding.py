@@ -1,0 +1,69 @@
+"""Canonical, deterministic serialization for content addressing.
+
+Anything hashed into a CID must serialize identically across runs and
+machines.  ``canonical_encode`` is a small, strict encoder: it supports the
+types the protocol actually stores (ints, strings, bytes, bools, None,
+floats, sequences, mappings with string-able keys) plus any object exposing
+``to_canonical()`` returning one of those.  Unknown types are an error —
+silently falling back to ``repr`` would hide nondeterminism.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+
+class EncodingError(TypeError):
+    """Raised for values that have no canonical encoding."""
+
+
+def canonical_encode(value: Any) -> bytes:
+    """Encode *value* into canonical bytes (stable across runs)."""
+    out = bytearray()
+    _encode_into(out, value)
+    return bytes(out)
+
+
+def _encode_into(out: bytearray, value: Any) -> None:
+    if value is None:
+        out += b"N"
+    elif value is True:
+        out += b"T"
+    elif value is False:
+        out += b"F"
+    elif isinstance(value, int):
+        body = str(value).encode("ascii")
+        out += b"i" + _length(body) + body
+    elif isinstance(value, float):
+        out += b"f" + struct.pack(">d", value)
+    elif isinstance(value, str):
+        body = value.encode("utf-8")
+        out += b"s" + _length(body) + body
+    elif isinstance(value, (bytes, bytearray)):
+        out += b"b" + _length(value) + bytes(value)
+    elif isinstance(value, (list, tuple)):
+        out += b"l" + _length(value)
+        for item in value:
+            _encode_into(out, item)
+    elif isinstance(value, dict):
+        items = sorted(value.items(), key=lambda kv: str(kv[0]))
+        out += b"d" + _length(items)
+        for key, item in items:
+            _encode_into(out, str(key))
+            _encode_into(out, item)
+    elif isinstance(value, (set, frozenset)):
+        items = sorted(value, key=repr)
+        out += b"e" + _length(items)
+        for item in items:
+            _encode_into(out, item)
+    elif hasattr(value, "to_canonical"):
+        out += b"o"
+        _encode_into(out, type(value).__name__)
+        _encode_into(out, value.to_canonical())
+    else:
+        raise EncodingError(f"no canonical encoding for {type(value).__name__}: {value!r}")
+
+
+def _length(sized) -> bytes:
+    return str(len(sized)).encode("ascii") + b":"

@@ -1,0 +1,94 @@
+"""Single-key signatures (simulated).
+
+A signature tag is ``sha256(pub || secret || message_digest)``.  Producing a
+tag therefore requires the :class:`~repro.crypto.keys.KeyPair` object, while
+verification must work with public data only — as with real asymmetric
+signatures.  Public verifiability is emulated by a global
+:class:`SignatureRegistry` that records genuinely-produced tags at signing
+time: a tag verifies iff :func:`sign` actually produced it for that
+(signer, message).  Attackers in the experiments fabricate tags without
+calling :func:`sign`, and those fail verification — exactly the behaviour
+real signatures provide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.crypto.encoding import canonical_encode
+from repro.crypto.keys import Address, KeyPair
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A signature over a message by one public key."""
+
+    signer: Address
+    public: bytes
+    tag: bytes
+
+    def to_canonical(self):
+        return (self.signer.raw, self.public, self.tag)
+
+
+class SignatureRegistry:
+    """Record of genuinely-produced (tag, message-digest) pairs.
+
+    Stands in for the public-key math that makes real signatures verifiable
+    without the secret.
+    """
+
+    def __init__(self) -> None:
+        self._seen: set[tuple[bytes, bytes]] = set()
+
+    def record(self, tag: bytes, digest: bytes) -> None:
+        self._seen.add((tag, digest))
+
+    def check(self, tag: bytes, digest: bytes) -> bool:
+        return (tag, digest) in self._seen
+
+    def clear(self) -> None:
+        self._seen.clear()
+
+
+_REGISTRY = SignatureRegistry()
+
+
+def message_digest(message: Any) -> bytes:
+    """The digest that gets signed: sha256 of the canonical encoding."""
+    return hashlib.sha256(canonical_encode(message)).digest()
+
+
+def sign(keypair: KeyPair, message: Any) -> Signature:
+    """Sign *message* (any canonically-encodable value) with *keypair*."""
+    digest = message_digest(message)
+    tag = hashlib.sha256(
+        b"sig:" + keypair.public + keypair.secret_for_signing() + digest
+    ).digest()
+    _REGISTRY.record(tag, digest)
+    return Signature(signer=keypair.address, public=keypair.public, tag=tag)
+
+
+def verify(signature: Signature, message: Any, keypair: Optional[KeyPair] = None) -> bool:
+    """Verify *signature* over *message* using public data.
+
+    The signer address must match the embedded public key, and the tag must
+    have genuinely been produced for this exact message.  When *keypair* is
+    supplied (a node re-checking its own output), the tag is additionally
+    recomputed.
+    """
+    if Address.from_pubkey(signature.public) != signature.signer:
+        return False
+    if len(signature.tag) != 32:
+        return False
+    digest = message_digest(message)
+    if not _REGISTRY.check(signature.tag, digest):
+        return False
+    if keypair is not None:
+        expected = hashlib.sha256(
+            b"sig:" + keypair.public + keypair.secret_for_signing() + digest
+        ).digest()
+        return expected == signature.tag and keypair.address == signature.signer
+    return True

@@ -1,0 +1,153 @@
+"""k-of-n threshold signatures via Shamir secret sharing over a prime field.
+
+The paper's SA signature policy may require "threshold signatures among
+subnet miners" (§III-B).  This module implements a pedagogical-but-real
+threshold scheme: a dealer splits a group secret into n shares with a random
+degree-(k-1) polynomial; any k share-holders can produce partial signatures
+whose Lagrange combination reconstructs the group tag; fewer than k cannot.
+
+The signature tag is ``sha256(group_secret || message_digest)``, and the
+group secret is reconstructed transiently inside :meth:`ThresholdScheme.combine`
+from partial evaluations — no participant ever holds it alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.crypto.signature import message_digest
+
+# 2^127 - 1, a Mersenne prime comfortably above sha256-derived share values
+# truncated to 120 bits.
+_PRIME = (1 << 127) - 1
+
+
+@dataclass(frozen=True)
+class SecretShare:
+    """One participant's share: the polynomial evaluated at index x."""
+
+    x: int
+    y: int
+    group_id: str
+
+
+@dataclass(frozen=True)
+class PartialSignature:
+    """A share-holder's contribution to a threshold signature."""
+
+    x: int
+    value: int
+    group_id: str
+
+
+@dataclass(frozen=True)
+class ThresholdSignature:
+    """A combined k-of-n signature."""
+
+    group_id: str
+    tag: bytes
+    participants: tuple
+
+    def to_canonical(self):
+        return (self.group_id, self.tag, self.participants)
+
+
+def _eval_poly(coefficients: Sequence[int], x: int) -> int:
+    accumulator = 0
+    for coefficient in reversed(coefficients):
+        accumulator = (accumulator * x + coefficient) % _PRIME
+    return accumulator
+
+
+def _lagrange_at_zero(points: Sequence[tuple[int, int]]) -> int:
+    """Interpolate the polynomial through *points* and evaluate at x=0."""
+    total = 0
+    for i, (xi, yi) in enumerate(points):
+        numerator = 1
+        denominator = 1
+        for j, (xj, _) in enumerate(points):
+            if i == j:
+                continue
+            numerator = (numerator * (-xj)) % _PRIME
+            denominator = (denominator * (xi - xj)) % _PRIME
+        total = (total + yi * numerator * pow(denominator, _PRIME - 2, _PRIME)) % _PRIME
+    return total
+
+
+class ThresholdScheme:
+    """Dealer-based k-of-n threshold signing for one group of participants."""
+
+    def __init__(self, group_id: str, threshold: int, participants: int, seed: int = 0) -> None:
+        if not 1 <= threshold <= participants:
+            raise ValueError(f"need 1 <= k={threshold} <= n={participants}")
+        self.group_id = group_id
+        self.threshold = threshold
+        self.participants = participants
+        # Deterministic dealer: secret and coefficients derived from the seed.
+        material = f"threshold:{group_id}:{seed}"
+        digest = hashlib.sha256(material.encode()).digest()
+        self._secret = int.from_bytes(digest[:15], "big") % _PRIME
+        coefficients = [self._secret]
+        for degree in range(1, threshold):
+            coeff_digest = hashlib.sha256(f"{material}:{degree}".encode()).digest()
+            coefficients.append(int.from_bytes(coeff_digest[:15], "big") % _PRIME)
+        self._coefficients = coefficients
+        self._shares = {
+            x: SecretShare(x=x, y=_eval_poly(coefficients, x), group_id=group_id)
+            for x in range(1, participants + 1)
+        }
+
+    def share_for(self, index: int) -> SecretShare:
+        """Return participant *index*'s share (1-based)."""
+        return self._shares[index]
+
+    @staticmethod
+    def partial_sign(share: SecretShare, message: Any) -> PartialSignature:
+        """Produce a partial signature from one share.
+
+        The partial value binds the share to the message so partials cannot
+        be replayed across messages: value = y blinded by the message digest.
+        """
+        digest = message_digest(message)
+        blind = int.from_bytes(hashlib.sha256(digest).digest()[:15], "big") % _PRIME
+        value = (share.y + blind) % _PRIME
+        return PartialSignature(x=share.x, value=value, group_id=share.group_id)
+
+    def combine(self, partials: Sequence[PartialSignature], message: Any) -> ThresholdSignature:
+        """Combine at least k partials into a group signature.
+
+        Raises :class:`ValueError` if fewer than k distinct partials are
+        supplied or any partial belongs to a different group.
+        """
+        unique = {p.x: p for p in partials if p.group_id == self.group_id}
+        if len(unique) < self.threshold:
+            raise ValueError(
+                f"need {self.threshold} partial signatures, got {len(unique)}"
+            )
+        digest = message_digest(message)
+        blind = int.from_bytes(hashlib.sha256(digest).digest()[:15], "big") % _PRIME
+        points = [
+            (x, (p.value - blind) % _PRIME)
+            for x, p in sorted(unique.items())[: self.threshold]
+        ]
+        secret = _lagrange_at_zero(points)
+        tag = hashlib.sha256(
+            b"tsig:" + secret.to_bytes(16, "big") + digest
+        ).digest()
+        return ThresholdSignature(
+            group_id=self.group_id,
+            tag=tag,
+            participants=tuple(sorted(unique.keys())[: self.threshold]),
+        )
+
+    def verify(self, signature: ThresholdSignature, message: Any) -> bool:
+        """Check a combined signature against the group secret."""
+        if signature.group_id != self.group_id:
+            return False
+        digest = message_digest(message)
+        expected = hashlib.sha256(
+            b"tsig:" + self._secret.to_bytes(16, "big") + digest
+        ).digest()
+        return expected == signature.tag

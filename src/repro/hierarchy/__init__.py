@@ -1,0 +1,68 @@
+"""Hierarchical consensus — the paper's core contribution.
+
+Subnets organised in a tree, each running its own chain and consensus,
+anchored to their parent via checkpoints, exchanging value through
+cross-net messages, with the firewall property bounding the damage a
+compromised subnet can inflict on its ancestors.
+
+Public entry point: :class:`~repro.hierarchy.network.HierarchicalSystem`.
+"""
+
+from repro.hierarchy.subnet_id import SubnetID, ROOTNET
+from repro.hierarchy.checkpoint import Checkpoint, CrossMsgMeta, SignedCheckpoint
+from repro.hierarchy.crossmsg import (
+    ApplyBottomUp,
+    ApplyTopDown,
+    CrossMsg,
+    Direction,
+    classify,
+)
+from repro.hierarchy.gateway import SCA_ADDRESS, SubnetCoordinatorActor
+from repro.hierarchy.subnet_actor import SubnetActor, SignaturePolicy
+from repro.hierarchy.genesis import hierarchy_registry, subnet_genesis
+from repro.hierarchy.wallet import Wallet
+from repro.hierarchy.node import SubnetNode
+from repro.hierarchy.network import HierarchicalSystem, SubnetConfig, SpawnError
+from repro.hierarchy.firewall import (
+    CompromisedSubnet,
+    SupplyAudit,
+    audit_system,
+)
+from repro.hierarchy.light_client import (
+    CheckpointLightClient,
+    VerificationError,
+    follow_parent_chain,
+)
+from repro.hierarchy.acceleration import AccelerationService, PendingCertificate
+
+__all__ = [
+    "SubnetID",
+    "ROOTNET",
+    "Checkpoint",
+    "CrossMsgMeta",
+    "SignedCheckpoint",
+    "CrossMsg",
+    "ApplyTopDown",
+    "ApplyBottomUp",
+    "Direction",
+    "classify",
+    "SCA_ADDRESS",
+    "SubnetCoordinatorActor",
+    "SubnetActor",
+    "SignaturePolicy",
+    "hierarchy_registry",
+    "subnet_genesis",
+    "Wallet",
+    "SubnetNode",
+    "HierarchicalSystem",
+    "SubnetConfig",
+    "SpawnError",
+    "CompromisedSubnet",
+    "SupplyAudit",
+    "audit_system",
+    "CheckpointLightClient",
+    "VerificationError",
+    "follow_parent_chain",
+    "AccelerationService",
+    "PendingCertificate",
+]

@@ -1,0 +1,221 @@
+"""Firewall property: supply auditing and the compromised-subnet attack.
+
+§II: "The system provides a firewall security property … for token
+exchanges, the impact of a child subnet being compromised is limited to,
+at most, its circulating supply of the token, determined by the (positive)
+balance between cross-net transactions entering the subnet and cross-net
+transactions leaving the subnet."
+
+Two tools here:
+
+- :func:`audit_system` checks the supply invariants across a running
+  :class:`~repro.hierarchy.network.HierarchicalSystem`;
+- :class:`CompromisedSubnet` mounts the §II attack: validators of a subnet
+  (whose keys the adversary holds) forge a checkpoint claiming arbitrary
+  bottom-up value and submit it with genuine policy signatures.  E6
+  measures how much the adversary actually extracts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.crypto.cid import cid_of
+from repro.crypto.keys import Address
+from repro.crypto.signature import sign
+from repro.hierarchy.checkpoint import Checkpoint, CrossMsgMeta, SignedCheckpoint
+from repro.hierarchy.crossmsg import CrossMsg
+from repro.hierarchy.gateway import SCA_ADDRESS
+from repro.hierarchy.subnet_id import SubnetID
+from repro.hierarchy.wallet import Wallet
+from repro.vm.vm import BURN_ADDRESS
+
+
+@dataclass
+class SubnetSupply:
+    """One subnet's supply picture from its parent's books and its own VM."""
+
+    subnet: str
+    collateral: int = 0
+    circulating_at_parent: int = 0
+    injected_total: int = 0
+    released_total: int = 0
+    minted_in_subnet: int = 0
+    burned_in_subnet: int = 0
+    frozen_pool_at_parent: int = 0
+    status: str = "?"
+
+    @property
+    def net_minted(self) -> int:
+        return self.minted_in_subnet - self.burned_in_subnet
+
+
+@dataclass
+class SupplyAudit:
+    """Outcome of :func:`audit_system`."""
+
+    subnets: dict = field(default_factory=dict)  # path -> SubnetSupply
+    violations: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def audit_system(system) -> SupplyAudit:
+    """Check the hierarchy-wide supply invariants.
+
+    For every subnet P with children C₁…Cₙ:
+
+    1. **Frozen-pool solvency**: SCA_P's balance ≥ Σ collateral(Cᵢ) +
+       Σ circulating(Cᵢ).  Every promised release is backed by frozen funds.
+    2. **Cumulative firewall bound**: released_total(Cᵢ) ≤
+       injected_total(Cᵢ) — no child subtree has ever extracted more value
+       from P than was genuinely injected into it (the §II bound).
+    3. **Ledger consistency**: circulating = injected − released, ≥ 0.
+    4. **Child mint bound**: tokens minted inside Cᵢ's chain ≤
+       injected_total(Cᵢ) — a subnet chain only materialises value its
+       parent froze for it.  (Relay traffic makes the parent's *circulating*
+       an upper bound rather than an exact mirror of the child's net supply
+       — the paper relays intermediate metas unverified, Fig. 3 — so the
+       sound per-child invariants are the cumulative ones above.)
+    """
+    audit = SupplyAudit()
+    for subnet in system.subnets:
+        parent_node = system.node(subnet)
+        sca_balance = parent_node.vm.balance_of(SCA_ADDRESS)
+        total_backing = 0
+        prefix = f"actor/{SCA_ADDRESS.raw}/child/"
+        for key in parent_node.vm.state.keys(prefix):
+            child_path = key[len(prefix):]
+            record = parent_node.vm.state.get(key)
+            supply = SubnetSupply(
+                subnet=child_path,
+                collateral=record["collateral"],
+                circulating_at_parent=record["circulating"],
+                injected_total=record["injected_total"],
+                released_total=record["released_total"],
+                frozen_pool_at_parent=sca_balance,
+                status=record["status"],
+            )
+            total_backing += record["collateral"] + record["circulating"]
+            if supply.released_total > supply.injected_total:
+                audit.violations.append(
+                    f"{child_path}: released {supply.released_total} exceeds "
+                    f"injected {supply.injected_total} — firewall breached"
+                )
+            if supply.circulating_at_parent != supply.injected_total - supply.released_total:
+                audit.violations.append(
+                    f"{child_path}: circulating {supply.circulating_at_parent} != "
+                    f"injected - released"
+                )
+            if supply.circulating_at_parent < 0:
+                audit.violations.append(f"{child_path}: negative circulating supply")
+            child_id = SubnetID(child_path)
+            if child_id in system.nodes_by_subnet:
+                child_vm = system.node(child_id).vm
+                supply.minted_in_subnet = child_vm.total_minted
+                supply.burned_in_subnet = child_vm.total_burned
+                if supply.minted_in_subnet > supply.injected_total:
+                    audit.violations.append(
+                        f"{child_path}: minted {supply.minted_in_subnet} exceeds "
+                        f"injected {supply.injected_total}"
+                    )
+            audit.subnets[child_path] = supply
+        if sca_balance < total_backing:
+            audit.violations.append(
+                f"{subnet}: SCA pool {sca_balance} cannot back "
+                f"collateral+circulating {total_backing}"
+            )
+    return audit
+
+
+class CompromisedSubnet:
+    """An adversary holding all (or a quorum of) a subnet's validator keys.
+
+    Mounts the forged-extraction attack of §II: builds a checkpoint whose
+    cross-msg meta claims *value* flowing bottom-up to an attacker address
+    in the parent, signs it with the subnet's genuine validator keys,
+    pushes the forged batch into the resolution layer (so the parent can
+    apply it), and submits the checkpoint through the SA.
+    """
+
+    def __init__(self, system, subnet) -> None:
+        self.system = system
+        self.subnet = SubnetID(subnet)
+        self.parent = self.subnet.parent()
+        self.nodes = system.nodes(self.subnet)
+        self.sa_addr = system.sa_address(self.subnet)
+        self._wallet = Wallet(self.nodes[0].keypair)
+        self._window_bump = 0
+
+    def forge_extraction(self, attacker: Address, value: int, count: int = 1) -> CrossMsgMeta:
+        """Submit a forged checkpoint claiming *value* (split over *count*
+        messages) for *attacker* on the parent chain.
+
+        Returns the forged meta.  The parent's firewall decides how much of
+        it ever pays out.
+        """
+        per_message = value // count
+        amounts = [per_message] * count
+        amounts[-1] += value - per_message * count
+        forged_messages = tuple(
+            CrossMsg(
+                from_subnet=self.subnet,
+                from_addr=attacker,
+                to_subnet=self.parent,
+                to_addr=attacker,
+                value=amount,
+                origin_nonce=i,
+            )
+            for i, amount in enumerate(amounts)
+        )
+        msgs_cid = cid_of(forged_messages)
+        record = self.system.child_record(self.parent, self.subnet) or {}
+        parent_node = self.system.node(self.parent)
+        last_window = parent_node.vm.state.get(
+            f"actor/{self.sa_addr.raw}/last_ckpt_window", -1
+        )
+        window = last_window + 1 + self._window_bump
+        self._window_bump += 1
+        from repro.crypto.cid import CID
+
+        meta = CrossMsgMeta(
+            from_subnet=self.subnet,
+            to_subnet=self.parent,
+            nonce=999_000 + window,
+            msgs_cid=msgs_cid,
+            count=count,
+            value=value,
+        )
+        checkpoint = Checkpoint(
+            source=self.subnet,
+            proof=cid_of(("forged-proof", window)),
+            prev=CID.from_hex(record.get("last_ckpt_cid", "00" * 32)),
+            cross_meta=(meta,),
+            window=window,
+            epoch=(window + 1) * 10,
+        )
+        # Genuine quorum signatures — the adversary holds the keys.
+        config = self.system.configs[self.subnet]
+        quorum = 1 if config.policy.kind == "single" else config.policy.threshold
+        signatures = tuple(
+            sign(node.keypair, checkpoint.cid.hex()) for node in self.nodes[:quorum]
+        )
+        signed = SignedCheckpoint(checkpoint=checkpoint, signatures=signatures)
+        # Push the forged batch so the parent's pools can resolve it.
+        for node in self.nodes:
+            node.resolution.store(msgs_cid, forged_messages)
+        self.nodes[0].resolution.push(self.parent, msgs_cid, forged_messages)
+        # Submit through the SA like any checkpoint.
+        self._wallet.send(
+            self.system.node(self.parent),
+            self.sa_addr,
+            method="submit_checkpoint",
+            params={"signed": signed},
+        )
+        return meta
+
+    def extracted_so_far(self, attacker: Address) -> int:
+        return self.system.balance(self.parent, attacker)

@@ -1,0 +1,58 @@
+"""Genesis construction for hierarchical subnets."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.chain.genesis import GenesisParams, build_genesis
+from repro.hierarchy.gateway import SCA_ADDRESS, SubnetCoordinatorActor
+from repro.hierarchy.subnet_actor import SubnetActor
+from repro.hierarchy.subnet_id import SubnetID
+from repro.vm.actor import ActorRegistry
+from repro.vm.builtin import default_registry
+from repro.vm.builtin.init_actor import INIT_ACTOR_ADDRESS
+
+
+def hierarchy_registry() -> ActorRegistry:
+    """The actor registry every hierarchical subnet runs: built-ins + SCA + SA."""
+    registry = default_registry()
+    registry.register(SubnetCoordinatorActor)
+    registry.register(SubnetActor)
+    return registry
+
+
+def subnet_genesis(
+    subnet: SubnetID,
+    checkpoint_period: int = 10,
+    min_collateral: int = 100,
+    allocations: Optional[dict] = None,
+    gas_price: int = 0,
+    timestamp: float = 0.0,
+    registry: Optional[ActorRegistry] = None,
+):
+    """Build ``(genesis_block, vm)`` for a subnet chain with its SCA installed.
+
+    Spawning a subnet "instantiates a new independent state" (§III-A); the
+    SCA is part of that state from block 0 so cross-net machinery works from
+    the first block.
+    """
+    params = GenesisParams(
+        subnet_id=subnet.path,
+        allocations=allocations or {},
+        system_actors=[
+            (INIT_ACTOR_ADDRESS, "init", {}, 0),
+            (
+                SCA_ADDRESS,
+                "sca",
+                {
+                    "subnet_path": subnet.path,
+                    "min_collateral": min_collateral,
+                    "checkpoint_period": checkpoint_period,
+                },
+                0,
+            ),
+        ],
+        gas_price=gas_price,
+        timestamp=timestamp,
+    )
+    return build_genesis(params, registry=registry or hierarchy_registry())

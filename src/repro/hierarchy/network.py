@@ -1,0 +1,498 @@
+"""`HierarchicalSystem` — the public orchestration API.
+
+Builds Fig. 1's picture end to end: a rootnet, subnets spawned from any
+point in the hierarchy through in-protocol SA deployment and staking,
+validator nodes running per-subnet consensus engines over simulated
+gossipsub, checkpoint anchoring, cross-net transfers, content resolution
+and atomic executions — all on one deterministic simulator.
+
+Typical use (see ``examples/quickstart.py``)::
+
+    system = HierarchicalSystem(seed=42)
+    system.start()
+    alice = system.create_wallet("alice", fund=100_000)
+    sub = system.spawn_subnet(SubnetConfig(name="fast", engine="tendermint"))
+    system.fund_subnet(alice, sub, alice.address, 50_000)
+    system.run_for(30)
+    assert system.balance(sub, alice.address) == 50_000
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.crypto.keys import Address, KeyPair
+from repro.crypto.threshold import ThresholdScheme
+from repro.consensus.base import ConsensusParams, Validator, ValidatorSet
+from repro.hierarchy.checkpointing import CheckpointConfig
+from repro.hierarchy.gateway import SCA_ADDRESS
+from repro.hierarchy.genesis import hierarchy_registry, subnet_genesis
+from repro.hierarchy.node import SubnetNode
+from repro.hierarchy.subnet_actor import SignaturePolicy, register_threshold_scheme
+from repro.hierarchy.subnet_id import ROOTNET, SubnetID
+from repro.hierarchy.wallet import Wallet
+from repro.net.gossip import GossipNetwork, GossipParams
+from repro.net.topology import Topology, UniformLatency
+from repro.net.transport import Transport
+from repro.sim.scheduler import Simulator
+from repro.vm.builtin.init_actor import INIT_ACTOR_ADDRESS, derive_actor_address
+
+TREASURY_FUNDS = 10**15
+
+
+class SpawnError(RuntimeError):
+    """Raised when a subnet fails to spawn within its deadline."""
+
+
+@dataclass
+class SubnetConfig:
+    """Everything needed to spawn one subnet (§III-A).
+
+    ``parent`` defaults to the rootnet.  ``policy`` governs checkpoint
+    signatures; ``stake_per_validator × validators`` must reach both the
+    SA's ``activation_collateral`` and the parent SCA's ``minCollateral``.
+    """
+
+    name: str = "subnet"
+    parent: SubnetID = field(default_factory=lambda: ROOTNET)
+    validators: int = 4
+    engine: str = "poa"
+    block_time: float = 0.5
+    checkpoint_period: int = 10
+    policy: SignaturePolicy = field(default_factory=lambda: SignaturePolicy("multisig", 2))
+    stake_per_validator: int = 100
+    activation_collateral: int = 100
+    min_validators: int = 1
+    finality_depth: int = 5
+    byzantine: dict = field(default_factory=dict)  # node index -> {behaviours}
+    cache_pushes: bool = True
+    push_drop_probability: float = 0.0
+    mir_leaders: int = 4
+    max_block_messages: int = 500
+    gas_price: int = 0  # >0 makes every message pay fees to its block miner (§II)
+    accelerate: bool = False  # issue/accept pending-payment certificates (§IV-A)
+
+
+class HierarchicalSystem:
+    """A full hierarchical-consensus deployment on one simulator."""
+
+    def __init__(
+        self,
+        seed: int = 1,
+        latency: float = 0.02,
+        loss_rate: float = 0.0,
+        root_validators: int = 4,
+        root_engine: str = "poa",
+        root_block_time: float = 1.0,
+        checkpoint_period: int = 10,
+        min_collateral: int = 100,
+        wallet_funds: Optional[dict] = None,
+        gossip_params: Optional[GossipParams] = None,
+        accelerate_root: bool = False,
+    ) -> None:
+        self.sim = Simulator(seed=seed)
+        topology = Topology(
+            UniformLatency(base=latency, jitter=latency / 2), loss_rate=loss_rate
+        )
+        self.gossip = GossipNetwork(
+            self.sim, Transport(self.sim, topology), gossip_params
+        )
+        self.registry = hierarchy_registry()
+        self.checkpoint_period = checkpoint_period
+        self.min_collateral = min_collateral
+
+        self.wallets: dict[str, Wallet] = {}
+        self.treasury = self._make_wallet("treasury")
+        genesis_allocations = {self.treasury.address: TREASURY_FUNDS}
+        for name, funds in (wallet_funds or {}).items():
+            wallet = self._make_wallet(name)
+            genesis_allocations[wallet.address] = funds
+
+        self.nodes_by_subnet: dict[SubnetID, list] = {}
+        self.configs: dict[SubnetID, SubnetConfig] = {}
+        self._accelerate_root = accelerate_root
+        self._spawn_root(
+            root_validators, root_engine, root_block_time, genesis_allocations
+        )
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _make_wallet(self, name: str) -> Wallet:
+        if name in self.wallets:
+            raise ValueError(f"wallet {name!r} exists")
+        wallet = Wallet(KeyPair(("wallet", name)))
+        self.wallets[name] = wallet
+        return wallet
+
+    def _spawn_root(self, n_validators, engine, block_time, allocations) -> None:
+        keys = [KeyPair(("validator", "/root", i)) for i in range(n_validators)]
+        genesis_block, genesis_vm = subnet_genesis(
+            ROOTNET,
+            checkpoint_period=self.checkpoint_period,
+            min_collateral=self.min_collateral,
+            allocations=allocations,
+            registry=self.registry,
+        )
+        validators = ValidatorSet(
+            Validator(node_id=f"/root#{i}", address=keys[i].address, power=1)
+            for i in range(n_validators)
+        )
+        params = ConsensusParams(engine=engine, block_time=block_time)
+        nodes = [
+            SubnetNode(
+                sim=self.sim,
+                node_id=f"/root#{i}",
+                keypair=keys[i],
+                subnet=ROOTNET,
+                genesis_block=genesis_block,
+                genesis_vm=genesis_vm,
+                gossip=self.gossip,
+                validators=validators,
+                consensus_params=params,
+                checkpoint_period=self.checkpoint_period,
+                parent_node=None,
+                accelerate=self._accelerate_root,
+            )
+            for i in range(n_validators)
+        ]
+        self.nodes_by_subnet[ROOTNET] = nodes
+        self.configs[ROOTNET] = SubnetConfig(
+            name="root", validators=n_validators, engine=engine, block_time=block_time,
+            checkpoint_period=self.checkpoint_period,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "HierarchicalSystem":
+        if not self._started:
+            for node in self.nodes_by_subnet[ROOTNET]:
+                node.start()
+            self._started = True
+        return self
+
+    def run_for(self, seconds: float) -> "HierarchicalSystem":
+        self.sim.run_until(self.sim.now + seconds)
+        return self
+
+    def run_until(self, time: float) -> "HierarchicalSystem":
+        self.sim.run_until(time)
+        return self
+
+    def wait_for(
+        self, predicate: Callable[[], bool], timeout: float = 120.0, step: float = 0.25
+    ) -> bool:
+        """Advance simulated time until *predicate* holds; False on timeout."""
+        deadline = self.sim.now + timeout
+        while self.sim.now < deadline:
+            if predicate():
+                return True
+            self.sim.run_until(min(self.sim.now + step, deadline))
+        return predicate()
+
+    def stop(self) -> None:
+        for nodes in self.nodes_by_subnet.values():
+            for node in nodes:
+                node.stop()
+        self.gossip.shutdown()
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def node(self, subnet) -> SubnetNode:
+        """A representative (first) node of *subnet*."""
+        return self.nodes_by_subnet[SubnetID(subnet)][0]
+
+    def nodes(self, subnet) -> list:
+        return list(self.nodes_by_subnet[SubnetID(subnet)])
+
+    @property
+    def subnets(self) -> list:
+        return sorted(self.nodes_by_subnet)
+
+    def balance(self, subnet, addr: Address) -> int:
+        return self.node(subnet).vm.balance_of(addr)
+
+    def sca_state(self, subnet, key: str, default=None):
+        return self.node(subnet).vm.state.get(
+            f"actor/{SCA_ADDRESS.raw}/{key}", default
+        )
+
+    def child_record(self, parent, child) -> Optional[dict]:
+        return self.sca_state(parent, f"child/{SubnetID(child).path}")
+
+    def sa_address(self, subnet) -> Address:
+        return derive_actor_address("subnet-actor", SubnetID(subnet).path)
+
+    def validator_wallets(self, subnet) -> list:
+        subnet = SubnetID(subnet)
+        config = self.configs[subnet]
+        return [
+            self.wallets[f"{subnet.path}-val{i}"] for i in range(config.validators)
+        ]
+
+    # ------------------------------------------------------------------
+    # Wallets and funds
+    # ------------------------------------------------------------------
+    def create_wallet(self, name: str, fund: int = 0) -> Wallet:
+        """Create a wallet; optionally fund it on the rootnet from treasury."""
+        wallet = self._make_wallet(name)
+        if fund:
+            self.transfer(self.treasury, ROOTNET, wallet.address, fund)
+            self.wait_for(lambda: self.balance(ROOTNET, wallet.address) >= fund)
+        return wallet
+
+    def transfer(self, wallet: Wallet, subnet, to: Address, value: int):
+        """An ordinary intra-subnet payment."""
+        return wallet.send(self.node(subnet), to, value=value)
+
+    def fund_subnet(self, wallet: Wallet, child, to: Address, value: int):
+        """Inject *value* from the child's parent chain into the child (§II)."""
+        child = SubnetID(child)
+        return wallet.send(
+            self.node(child.parent()),
+            SCA_ADDRESS,
+            method="fund",
+            params={"subnet_path": child.path, "to_addr": to.raw},
+            value=value,
+        )
+
+    def cross_send(
+        self,
+        wallet: Wallet,
+        from_subnet,
+        to_subnet,
+        to: Address,
+        value: int,
+        method: str = "send",
+        params=None,
+    ):
+        """Send a general cross-net message from *from_subnet* (§IV-A)."""
+        return wallet.send(
+            self.node(from_subnet),
+            SCA_ADDRESS,
+            method="send_crossmsg",
+            params={
+                "to_subnet": SubnetID(to_subnet).path,
+                "to_addr": to.raw,
+                "method": method,
+                "params": params,
+            },
+            value=value,
+        )
+
+    # ------------------------------------------------------------------
+    # Spawning subnets (§III-A)
+    # ------------------------------------------------------------------
+    def spawn_subnet(self, config: SubnetConfig, timeout: float = 240.0) -> SubnetID:
+        """Spawn a subnet through the full in-protocol flow.
+
+        1. fund the prospective validators' wallets on the parent chain;
+        2. deploy the Subnet Actor via the parent's init actor;
+        3. validators join with stake until the SA registers with the SCA;
+        4. once the parent SCA marks the child *active*, instantiate the
+           child chain (genesis + SCA), its validator nodes, consensus
+           engine, checkpoint service and cross-msg machinery.
+
+        Advances simulated time as needed; raises :class:`SpawnError` on
+        timeout.
+        """
+        if not self._started:
+            raise SpawnError("call start() before spawning subnets")
+        parent = SubnetID(config.parent)
+        if parent not in self.nodes_by_subnet:
+            raise SpawnError(f"parent subnet {parent} does not exist")
+        subnet = parent.child(config.name)
+        if subnet in self.nodes_by_subnet:
+            raise SpawnError(f"{subnet} already exists")
+
+        validator_wallets = [
+            self._make_wallet(f"{subnet.path}-val{i}") for i in range(config.validators)
+        ]
+        self._fund_on_subnet(
+            parent,
+            [(w.address, config.stake_per_validator * 2) for w in validator_wallets],
+            timeout,
+        )
+
+        # Deploy the SA through consensus.
+        sa_addr = self.sa_address(subnet)
+        deployer = validator_wallets[0]
+        deployer.send(
+            self.node(parent),
+            INIT_ACTOR_ADDRESS,
+            method="deploy",
+            params={
+                "code": "subnet-actor",
+                "label": subnet.path,
+                "params": {
+                    "subnet_path": subnet.path,
+                    "consensus": config.engine,
+                    "checkpoint_period": config.checkpoint_period,
+                    "activation_collateral": config.activation_collateral,
+                    "policy": config.policy,
+                    "min_validators": config.min_validators,
+                },
+            },
+        )
+        if not self.wait_for(
+            lambda: self.node(parent).vm.actor_code(sa_addr) == "subnet-actor",
+            timeout=timeout,
+        ):
+            raise SpawnError(f"SA deployment for {subnet} timed out")
+
+        # Validators stake; the SA registers with the SCA at activation.
+        for wallet in validator_wallets:
+            wallet.send(
+                self.node(parent), sa_addr, method="join",
+                value=config.stake_per_validator,
+            )
+        if not self.wait_for(
+            lambda: (self.child_record(parent, subnet) or {}).get("status") == "active",
+            timeout=timeout,
+        ):
+            raise SpawnError(f"{subnet} never became active in the parent SCA")
+
+        self._instantiate_subnet(subnet, config, validator_wallets, sa_addr)
+        return subnet
+
+    def _fund_on_subnet(self, subnet: SubnetID, grants: list, timeout: float) -> None:
+        """Ensure each (address, amount) holds on *subnet*'s chain,
+        injecting from the treasury through the hierarchy as needed."""
+        needed = [
+            (addr, amount)
+            for addr, amount in grants
+            if self.balance(subnet, addr) < amount
+        ]
+        if not needed:
+            return
+        if subnet.is_root:
+            for addr, amount in needed:
+                self.transfer(self.treasury, ROOTNET, addr, amount)
+        else:
+            # fund() executes on the subnet's parent chain, so the treasury
+            # must hold funds there first — provision recursively down the
+            # hierarchy (each hop is itself a top-down injection).
+            total = sum(amount for _, amount in needed)
+            self._ensure_treasury_funds(subnet.parent(), total, timeout)
+            for addr, amount in needed:
+                self.fund_subnet(self.treasury, subnet, addr, amount)
+        ok = self.wait_for(
+            lambda: all(self.balance(subnet, addr) >= amount for addr, amount in needed),
+            timeout=timeout,
+        )
+        if not ok:
+            raise SpawnError(f"funding validators on {subnet} timed out")
+
+    def provision_treasury(self, subnet, amount: int, timeout: float = 240.0) -> None:
+        """Public helper: ensure the treasury can spend *amount* on *subnet*.
+
+        Workload drivers at depth > 1 use this to stage funds hop by hop.
+        """
+        self._ensure_treasury_funds(SubnetID(subnet), amount, timeout)
+
+    def _ensure_treasury_funds(self, subnet: SubnetID, amount: int, timeout: float) -> None:
+        """Make sure the treasury holds ≥ *amount* on *subnet*'s chain."""
+        if subnet.is_root:
+            return  # funded at genesis
+        if self.balance(subnet, self.treasury.address) >= amount:
+            return
+        top_up = max(amount * 4, 1_000_000)
+        # The parent needs twice the top-up: it is about to spend top_up on
+        # this injection and must keep headroom for its own later traffic.
+        self._ensure_treasury_funds(subnet.parent(), top_up * 2, timeout)
+        self.fund_subnet(self.treasury, subnet, self.treasury.address, top_up)
+        ok = self.wait_for(
+            lambda: self.balance(subnet, self.treasury.address) >= amount,
+            timeout=timeout,
+        )
+        if not ok:
+            raise SpawnError(f"provisioning treasury on {subnet} timed out")
+
+    def _instantiate_subnet(
+        self, subnet: SubnetID, config: SubnetConfig, validator_wallets, sa_addr
+    ) -> None:
+        parent = subnet.parent()
+        # Nodes sign blocks and checkpoints with the same keypairs that
+        # staked via the SA — the SA's signature policy validates against
+        # the addresses in its validator set.
+        keys = [wallet.keypair for wallet in validator_wallets]
+        # Stake-weighted engines (pos, pow) read each validator's power from
+        # the stake recorded in the SA; equal-vote engines ignore power.
+        sa_validators = self.node(parent).vm.state.get(
+            f"actor/{sa_addr.raw}/validators", {}
+        )
+        powers = [
+            max(1, sa_validators.get(wallet.address.raw, config.stake_per_validator))
+            for wallet in validator_wallets
+        ]
+        genesis_block, genesis_vm = subnet_genesis(
+            subnet,
+            checkpoint_period=config.checkpoint_period,
+            min_collateral=self.min_collateral,
+            registry=self.registry,
+            timestamp=self.sim.now,
+            gas_price=config.gas_price,
+        )
+        validators = ValidatorSet(
+            Validator(node_id=f"{subnet.path}#{i}", address=keys[i].address, power=powers[i])
+            for i in range(config.validators)
+        )
+        params = ConsensusParams(
+            engine=config.engine,
+            block_time=config.block_time,
+            finality_depth=config.finality_depth,
+            mir_leaders=config.mir_leaders,
+            max_block_messages=config.max_block_messages,
+        )
+        if config.policy.kind == "threshold":
+            register_threshold_scheme(
+                ThresholdScheme(
+                    f"tss:{subnet.path}",
+                    threshold=config.policy.threshold,
+                    participants=config.validators,
+                    seed=self.sim.seeds.seed_for("tss", subnet.path),
+                )
+            )
+        parent_nodes = self.nodes_by_subnet[parent]
+        nodes = []
+        for i in range(config.validators):
+            # The checkpoint-submission wallet is the validator wallet that
+            # staked on the parent; its keypair must match the node keypair
+            # for signature policies, so nodes use the wallet keypairs.
+            checkpoint_config = CheckpointConfig(
+                period=config.checkpoint_period,
+                policy=config.policy,
+                sa_addr=sa_addr.raw,
+                validator_index=i,
+                validator_count=config.validators,
+                threshold_share_index=i + 1,
+            )
+            node = SubnetNode(
+                sim=self.sim,
+                node_id=f"{subnet.path}#{i}",
+                keypair=keys[i],
+                subnet=subnet,
+                genesis_block=genesis_block,
+                genesis_vm=genesis_vm,
+                gossip=self.gossip,
+                validators=validators,
+                consensus_params=params,
+                checkpoint_period=config.checkpoint_period,
+                parent_node=parent_nodes[i % len(parent_nodes)],
+                checkpoint_config=checkpoint_config,
+                byzantine=config.byzantine.get(i),
+                cache_pushes=config.cache_pushes,
+                push_drop_probability=config.push_drop_probability,
+                accelerate=config.accelerate,
+            )
+            nodes.append(node)
+        self.nodes_by_subnet[subnet] = nodes
+        self.configs[subnet] = config
+        for node in nodes:
+            node.start()
+        self.sim.trace.emit("subnet.spawned", subnet.path, f"n={config.validators}",
+                            config.engine)

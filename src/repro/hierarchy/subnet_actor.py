@@ -1,0 +1,379 @@
+"""The Subnet Actor (SA).
+
+"To spawn a new subnet, peers need to deploy a new Subnet Actor that
+implements the core logic for the new subnet.  The contract specifies the
+consensus protocol to be run by the subnet and the set of policies to be
+enforced for new members, leaving members, checkpointing, killing the
+subnet, etc." (§III-A).
+
+One SA lives in the *parent* chain per child subnet.  It is user-deployed
+and untrusted — the SCA enforces the economics — but it owns membership
+and the checkpoint signature policy:
+
+- ``join``/``leave``: miners stake and unstake; the SA forwards collateral
+  to/from the SCA, which flips the subnet active/inactive around
+  ``minCollateral`` (§III-B, §III-C);
+- ``submit_checkpoint``: verifies the policy-required signatures (single,
+  k-multisig, or k-of-n threshold) before relaying the checkpoint to the
+  SCA (§III-B);
+- ``submit_fraud_proof``: validates equivocation evidence — two conflicting
+  policy-valid checkpoints chaining from the same ``prev`` — and asks the
+  SCA to slash (§III-B);
+- ``vote_kill``: unanimous validator vote kills the subnet (§III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.crypto.keys import Address
+from repro.crypto.multisig import MultiSignature, verify_multisig
+from repro.crypto.threshold import ThresholdScheme, ThresholdSignature
+from repro.hierarchy.checkpoint import Checkpoint, SignedCheckpoint
+from repro.hierarchy.gateway import SCA_ADDRESS
+from repro.hierarchy.subnet_id import SubnetID
+from repro.vm.actor import Actor, export
+from repro.vm.exitcode import ExitCode
+
+
+@dataclass(frozen=True)
+class SignaturePolicy:
+    """The SA's checkpoint signature policy (§III-B).
+
+    ``kind`` is ``"single"`` (any one validator), ``"multisig"`` (at least
+    ``threshold`` distinct validator signatures) or ``"threshold"``
+    (a combined k-of-n threshold signature for the subnet's group).
+    """
+
+    kind: str = "multisig"
+    threshold: int = 1
+
+    def __post_init__(self):
+        if self.kind not in ("single", "multisig", "threshold"):
+            raise ValueError(f"unknown policy kind {self.kind!r}")
+        if self.threshold < 1:
+            raise ValueError("policy threshold must be >= 1")
+
+    def to_canonical(self):
+        return (self.kind, self.threshold)
+
+
+# Stand-in for distributed key generation: threshold schemes dealt per
+# subnet, addressable by group id.  A real deployment runs DKG among subnet
+# validators; the experiments need only the verification semantics.
+_THRESHOLD_SCHEMES: dict[str, ThresholdScheme] = {}
+
+
+def register_threshold_scheme(scheme: ThresholdScheme) -> None:
+    _THRESHOLD_SCHEMES[scheme.group_id] = scheme
+
+
+def threshold_scheme_for(group_id: str) -> Optional[ThresholdScheme]:
+    return _THRESHOLD_SCHEMES.get(group_id)
+
+
+class SubnetActor(Actor):
+    """Per-subnet governance contract, deployed in the parent chain."""
+
+    CODE = "subnet-actor"
+
+    # ==================================================================
+    # Construction
+    # ==================================================================
+    @export
+    def constructor(
+        self,
+        ctx,
+        subnet_path: str = "",
+        consensus: str = "poa",
+        checkpoint_period: int = 10,
+        activation_collateral: int = 100,
+        policy: SignaturePolicy = None,
+        min_validators: int = 1,
+        permissioned: bool = False,
+        allowlist: tuple = (),
+        max_validators: int = 0,
+        min_join_stake: int = 0,
+        min_remaining_validators: int = 0,
+    ) -> None:
+        child_id = SubnetID(subnet_path)
+        ctx.require(not child_id.is_root, "cannot govern the rootnet")
+        ctx.require(checkpoint_period > 0, "checkpoint_period must be positive")
+        ctx.require(activation_collateral > 0, "activation_collateral must be positive")
+        ctx.require(min_validators >= 1, "min_validators must be >= 1")
+        ctx.state_set("subnet_path", subnet_path)
+        ctx.state_set("consensus", consensus)
+        ctx.state_set("checkpoint_period", checkpoint_period)
+        ctx.state_set("activation_collateral", activation_collateral)
+        ctx.state_set("policy", policy or SignaturePolicy())
+        ctx.state_set("min_validators", min_validators)
+        ctx.state_set("status", "instantiated")  # → active → killed
+        ctx.state_set("validators", {})  # addr -> stake
+        ctx.state_set("kill_votes", ())
+        ctx.state_set("last_ckpt_window", -1)
+        # Membership policies (§III-A: "the set of policies to be enforced
+        # for new members, leaving members, …").
+        ctx.require(max_validators >= 0, "max_validators cannot be negative")
+        ctx.require(min_join_stake >= 0, "min_join_stake cannot be negative")
+        ctx.state_set("permissioned", bool(permissioned))
+        ctx.state_set("allowlist", tuple(str(a) for a in allowlist))
+        ctx.state_set("max_validators", max_validators)
+        ctx.state_set("min_join_stake", min_join_stake)
+        ctx.state_set("min_remaining_validators", min_remaining_validators)
+
+    # ==================================================================
+    # Membership (§III-A, §III-C)
+    # ==================================================================
+    @export
+    def join(self, ctx) -> str:
+        """Stake the attached value and join the validator set.
+
+        Once total stake reaches ``activation_collateral`` and the validator
+        count reaches ``min_validators``, the SA registers the subnet with
+        the SCA, forwarding the collateral.  Returns the SA status.
+        """
+        ctx.require(ctx.value_received > 0, "joining requires stake")
+        status = ctx.state_get("status")
+        ctx.require(status != "killed", "subnet is killed",
+                    exit_code=ExitCode.USR_ILLEGAL_STATE)
+        # Membership policy checks (§III-A).
+        if ctx.state_get("permissioned", False):
+            ctx.require(
+                ctx.caller.raw in ctx.state_get("allowlist", ()),
+                "subnet is permissioned; caller not on the allowlist",
+                exit_code=ExitCode.USR_FORBIDDEN,
+            )
+        min_join = ctx.state_get("min_join_stake", 0)
+        ctx.require(
+            ctx.value_received >= min_join,
+            f"join stake {ctx.value_received} below policy minimum {min_join}",
+            exit_code=ExitCode.USR_INSUFFICIENT_FUNDS,
+        )
+        validators = dict(ctx.state_get("validators"))
+        cap = ctx.state_get("max_validators", 0)
+        if cap and ctx.caller.raw not in validators:
+            ctx.require(
+                len(validators) < cap,
+                f"validator set is full ({cap})",
+                exit_code=ExitCode.USR_FORBIDDEN,
+            )
+        validators[ctx.caller.raw] = validators.get(ctx.caller.raw, 0) + ctx.value_received
+        ctx.state_set("validators", validators)
+        total = sum(validators.values())
+
+        if status == "instantiated":
+            if (
+                total >= ctx.state_get("activation_collateral")
+                and len(validators) >= ctx.state_get("min_validators")
+            ):
+                receipt = ctx.send(
+                    SCA_ADDRESS,
+                    method="register",
+                    params={
+                        "subnet_path": ctx.state_get("subnet_path"),
+                        "checkpoint_period": ctx.state_get("checkpoint_period"),
+                    },
+                    value=total,
+                )
+                ctx.require(
+                    receipt.ok,
+                    f"SCA registration failed: {receipt.error}",
+                    exit_code=ExitCode.USR_ILLEGAL_STATE,
+                )
+                ctx.state_set("status", "active")
+                ctx.emit("sa.activated", ctx.state_get("subnet_path"))
+        else:
+            # Already registered: forward the new stake as extra collateral.
+            receipt = ctx.send(
+                SCA_ADDRESS,
+                method="add_collateral",
+                params={"subnet_path": ctx.state_get("subnet_path")},
+                value=ctx.value_received,
+            )
+            ctx.require(receipt.ok, f"collateral top-up failed: {receipt.error}",
+                        exit_code=ExitCode.USR_ILLEGAL_STATE)
+        return ctx.state_get("status")
+
+    @export
+    def leave(self, ctx) -> int:
+        """Withdraw the caller's stake (§III-C).
+
+        The SA asks the SCA to release the collateral back to the miner; if
+        that leaves the subnet under ``minCollateral`` the SCA marks it
+        inactive.  Returns the released amount.
+        """
+        validators = dict(ctx.state_get("validators"))
+        stake = validators.get(ctx.caller.raw, 0)
+        ctx.require(stake > 0, "caller is not a validator",
+                    exit_code=ExitCode.USR_FORBIDDEN)
+        floor = ctx.state_get("min_remaining_validators", 0)
+        ctx.require(
+            len(validators) - 1 >= floor,
+            f"leave refused: policy keeps at least {floor} validators",
+            exit_code=ExitCode.USR_ILLEGAL_STATE,
+        )
+        del validators[ctx.caller.raw]
+        ctx.state_set("validators", validators)
+        if ctx.state_get("status") == "active":
+            receipt = ctx.send(
+                SCA_ADDRESS,
+                method="release_collateral",
+                params={
+                    "subnet_path": ctx.state_get("subnet_path"),
+                    "to_addr": ctx.caller.raw,
+                    "amount": stake,
+                },
+            )
+            ctx.require(receipt.ok, f"release failed: {receipt.error}",
+                        exit_code=ExitCode.USR_ILLEGAL_STATE)
+        else:
+            # Stake still held by the SA (never forwarded): refund directly.
+            ctx.transfer(ctx.caller, stake)
+        ctx.emit("sa.left", ctx.caller.raw)
+        return stake
+
+    @export
+    def vote_kill(self, ctx) -> str:
+        """Vote to kill the subnet; unanimity among validators executes it.
+
+        On execution the SCA returns all remaining collateral to this SA,
+        which refunds validators pro-rata (§III-C).  Returns the status.
+        """
+        validators = ctx.state_get("validators")
+        ctx.require(ctx.caller.raw in validators, "caller is not a validator",
+                    exit_code=ExitCode.USR_FORBIDDEN)
+        ctx.require(ctx.state_get("status") == "active", "subnet not active",
+                    exit_code=ExitCode.USR_ILLEGAL_STATE)
+        votes = set(ctx.state_get("kill_votes"))
+        votes.add(ctx.caller.raw)
+        ctx.state_set("kill_votes", tuple(sorted(votes)))
+        if votes < set(validators):
+            return "pending"
+        receipt = ctx.send(
+            SCA_ADDRESS,
+            method="kill_subnet",
+            params={"subnet_path": ctx.state_get("subnet_path")},
+        )
+        ctx.require(receipt.ok, f"kill failed: {receipt.error}",
+                    exit_code=ExitCode.USR_ILLEGAL_STATE)
+        returned = receipt.return_value or 0
+        total_stake = sum(validators.values())
+        for addr, stake in sorted(validators.items()):
+            share = returned * stake // total_stake if total_stake else 0
+            if share:
+                ctx.transfer(Address(addr), share)
+        ctx.state_set("status", "killed")
+        ctx.state_set("validators", {})
+        ctx.emit("sa.killed", ctx.state_get("subnet_path"))
+        return "killed"
+
+    # ==================================================================
+    # Checkpoints (§III-B)
+    # ==================================================================
+    def _verify_policy(self, ctx, signed: SignedCheckpoint) -> bool:
+        """Check the checkpoint's signatures against the SA policy."""
+        policy: SignaturePolicy = ctx.state_get("policy")
+        validators = ctx.state_get("validators")
+        authorized = [Address(a) for a in validators]
+        payload = signed.checkpoint.cid.hex()
+        if policy.kind == "threshold":
+            if not isinstance(signed.signatures, ThresholdSignature):
+                return False
+            scheme = threshold_scheme_for(signed.signatures.group_id)
+            expected_group = f"tss:{ctx.state_get('subnet_path')}"
+            if scheme is None or signed.signatures.group_id != expected_group:
+                return False
+            return scheme.verify(signed.signatures, payload)
+        signatures = signed.signatures
+        if not isinstance(signatures, tuple):
+            signatures = (signatures,)
+        threshold = 1 if policy.kind == "single" else policy.threshold
+        return verify_multisig(
+            MultiSignature(signatures=tuple(sorted(signatures, key=lambda s: s.signer))),
+            payload,
+            authorized,
+            threshold,
+        )
+
+    @export
+    def submit_checkpoint(self, ctx, signed: SignedCheckpoint = None) -> None:
+        """Validate a signed checkpoint and relay it to the SCA.
+
+        "Checkpoints need to be signed by miners of a child chain and
+        committed to the parent chain through their corresponding SA …
+        After performing the corresponding checks, this actor triggers a
+        message function to the SCA" (§III-B).
+        """
+        ctx.require(signed is not None, "missing checkpoint")
+        checkpoint = signed.checkpoint
+        ctx.require(
+            checkpoint.source.path == ctx.state_get("subnet_path"),
+            "checkpoint for a different subnet",
+        )
+        ctx.require(ctx.state_get("status") == "active", "subnet not active",
+                    exit_code=ExitCode.USR_ILLEGAL_STATE)
+        ctx.require(
+            checkpoint.window > ctx.state_get("last_ckpt_window"),
+            f"window {checkpoint.window} already checkpointed",
+            exit_code=ExitCode.USR_ILLEGAL_STATE,
+        )
+        ctx.require(
+            self._verify_policy(ctx, signed),
+            "signature policy not satisfied",
+            exit_code=ExitCode.USR_FORBIDDEN,
+        )
+        receipt = ctx.send(
+            SCA_ADDRESS,
+            method="commit_child_checkpoint",
+            params={"checkpoint": checkpoint},
+        )
+        ctx.require(receipt.ok, f"SCA rejected checkpoint: {receipt.error}",
+                    exit_code=ExitCode.USR_ILLEGAL_STATE)
+        ctx.state_set("last_ckpt_window", checkpoint.window)
+        ctx.state_set(f"ckpt_history/{checkpoint.window}", signed)
+        ctx.emit("sa.checkpoint", (checkpoint.window, checkpoint.cid.hex()))
+
+    # ==================================================================
+    # Fraud proofs & slashing (§III-B)
+    # ==================================================================
+    @export
+    def submit_fraud_proof(
+        self, ctx, first: SignedCheckpoint = None, second: SignedCheckpoint = None,
+        slash_amount: int = 0,
+    ) -> int:
+        """Slash on equivocation: two *different* policy-valid checkpoints
+        chaining from the same ``prev``.
+
+        "Checkpoints for a subnet can be verified at any point using the
+        state of the subnet chain which can then be used to generate
+        equivocation proofs (or so-called fraud proofs) which, in turn, can
+        be used for penalizing misbehaving entities" (§III-B).
+        Returns the slashed amount.
+        """
+        ctx.require(first is not None and second is not None, "need two checkpoints")
+        ca, cb = first.checkpoint, second.checkpoint
+        subnet_path = ctx.state_get("subnet_path")
+        ctx.require(
+            ca.source.path == subnet_path and cb.source.path == subnet_path,
+            "checkpoints are not for this subnet",
+        )
+        ctx.require(ca.cid != cb.cid, "checkpoints are identical — no fraud")
+        ctx.require(
+            ca.prev == cb.prev,
+            "checkpoints do not conflict (different prev)",
+        )
+        ctx.require(
+            self._verify_policy(ctx, first) and self._verify_policy(ctx, second),
+            "evidence not policy-signed — cannot attribute fraud",
+        )
+        amount = slash_amount or ctx.state_get("activation_collateral")
+        receipt = ctx.send(
+            SCA_ADDRESS,
+            method="slash",
+            params={"subnet_path": subnet_path, "amount": amount},
+        )
+        ctx.require(receipt.ok, f"slash failed: {receipt.error}",
+                    exit_code=ExitCode.USR_ILLEGAL_STATE)
+        ctx.emit("sa.slashed", (subnet_path, receipt.return_value))
+        return receipt.return_value

@@ -1,0 +1,88 @@
+"""Request/response channel over the transport.
+
+Used where the paper implies direct exchanges (e.g. serving a pull request's
+content back to a specific requester could be done point-to-point; we also
+use it for parent-chain state sync reads in tests).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.scheduler import Simulator
+from repro.net.transport import NetMessage, Transport
+
+
+class RpcChannel:
+    """Typed request/response on top of :class:`Transport`.
+
+    Servers register named methods; clients call them with a response
+    callback.  Requests to unreachable peers invoke the callback with
+    ``(None, error)`` after a timeout.
+    """
+
+    def __init__(self, sim: Simulator, transport: Transport, timeout: float = 5.0) -> None:
+        self.sim = sim
+        self.transport = transport
+        self.timeout = timeout
+        self._methods: dict[str, dict[str, Callable[[str, Any], Any]]] = {}
+        self._pending: dict[int, Callable[[Any, Optional[str]], None]] = {}
+        self._next_request = 0
+
+    def register_peer(self, peer_id: str) -> None:
+        """Attach RPC handling for *peer_id* on the shared transport."""
+        if not self.transport.is_registered(f"rpc:{peer_id}"):
+            self.transport.register(f"rpc:{peer_id}", self._on_message)
+        self._methods.setdefault(peer_id, {})
+
+    def expose(self, peer_id: str, method: str, fn: Callable[[str, Any], Any]) -> None:
+        """Expose ``fn(caller_id, params) -> result`` as *method* on *peer_id*."""
+        self.register_peer(peer_id)
+        self._methods[peer_id][method] = fn
+
+    def call(
+        self,
+        caller: str,
+        target: str,
+        method: str,
+        params: Any,
+        on_response: Callable[[Any, Optional[str]], None],
+    ) -> None:
+        """Invoke *method* on *target*; *on_response(result, error)* fires once."""
+        self.register_peer(caller)
+        request_id = self._next_request
+        self._next_request += 1
+        self._pending[request_id] = on_response
+        sent = self.transport.send(
+            f"rpc:{caller}",
+            f"rpc:{target}",
+            "rpc:req",
+            (request_id, caller, target, method, params),
+        )
+        if not sent:
+            self._resolve(request_id, None, f"unreachable: {target}")
+            return
+        self.sim.schedule(
+            self.timeout, self._resolve, request_id, None, "timeout", label="rpc:timeout"
+        )
+
+    def _resolve(self, request_id: int, result: Any, error: Optional[str]) -> None:
+        callback = self._pending.pop(request_id, None)
+        if callback is not None:
+            callback(result, error)
+
+    def _on_message(self, message: NetMessage) -> None:
+        if message.kind == "rpc:req":
+            request_id, caller, target, method, params = message.payload
+            fn = self._methods.get(target, {}).get(method)
+            if fn is None:
+                response = (request_id, None, f"no such method: {method}")
+            else:
+                try:
+                    response = (request_id, fn(caller, params), None)
+                except Exception as exc:  # server fault becomes an RPC error
+                    response = (request_id, None, f"{type(exc).__name__}: {exc}")
+            self.transport.send(message.dst, message.src, "rpc:resp", response)
+        elif message.kind == "rpc:resp":
+            request_id, result, error = message.payload
+            self._resolve(request_id, result, error)

@@ -1,0 +1,108 @@
+"""Network topology and latency models."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+
+class LatencyModel:
+    """Base class: latency in seconds for a (src, dst) pair."""
+
+    def sample(self, src: str, dst: str, rng: random.Random) -> float:
+        raise NotImplementedError
+
+
+class UniformLatency(LatencyModel):
+    """Latency drawn uniformly from [base - jitter, base + jitter]."""
+
+    def __init__(self, base: float = 0.05, jitter: float = 0.02) -> None:
+        if base - jitter < 0:
+            raise ValueError("latency cannot be negative")
+        self.base = base
+        self.jitter = jitter
+
+    def sample(self, src: str, dst: str, rng: random.Random) -> float:
+        if self.jitter == 0:
+            return self.base
+        return rng.uniform(self.base - self.jitter, self.base + self.jitter)
+
+
+class RegionLatency(LatencyModel):
+    """Region-matrix latency: intra-region fast, inter-region slower.
+
+    Peers are assigned to regions; latency between regions r1, r2 is the
+    matrix entry plus small jitter.
+    """
+
+    def __init__(
+        self,
+        regions: dict,
+        matrix: dict,
+        jitter_fraction: float = 0.1,
+        default: float = 0.15,
+    ) -> None:
+        self.regions = dict(regions)  # peer_id -> region name
+        self.matrix = dict(matrix)  # (r1, r2) sorted tuple -> seconds
+        self.jitter_fraction = jitter_fraction
+        self.default = default
+
+    def sample(self, src: str, dst: str, rng: random.Random) -> float:
+        r1 = self.regions.get(src, "?")
+        r2 = self.regions.get(dst, "?")
+        key = tuple(sorted((r1, r2)))
+        base = self.matrix.get(key, self.default)
+        jitter = base * self.jitter_fraction
+        if jitter == 0:
+            return base
+        return max(0.0, rng.uniform(base - jitter, base + jitter))
+
+
+class Topology:
+    """Who can talk to whom, at what latency, with what loss.
+
+    Partitions are sets of peers isolated from everyone outside the set;
+    they can be installed and healed during a run to test recovery.
+    """
+
+    def __init__(
+        self,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+    ) -> None:
+        self.latency = latency or UniformLatency()
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.loss_rate = loss_rate
+        self._partitions: list[set[str]] = []
+
+    def sample_latency(self, src: str, dst: str, rng: random.Random) -> float:
+        return self.latency.sample(src, dst, rng)
+
+    def is_lost(self, rng: random.Random) -> bool:
+        return self.loss_rate > 0 and rng.random() < self.loss_rate
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def partition(self, peers: set) -> int:
+        """Isolate *peers* from the rest of the network; returns a handle."""
+        self._partitions.append(set(peers))
+        return len(self._partitions) - 1
+
+    def heal(self, handle: int) -> None:
+        """Remove a previously installed partition."""
+        if 0 <= handle < len(self._partitions):
+            self._partitions[handle] = set()
+
+    def heal_all(self) -> None:
+        self._partitions = []
+
+    def can_communicate(self, src: str, dst: str) -> bool:
+        """False when a partition separates *src* and *dst*."""
+        for group in self._partitions:
+            if not group:
+                continue
+            if (src in group) != (dst in group):
+                return False
+        return True

@@ -1,0 +1,121 @@
+"""Event primitives for the discrete-event simulator.
+
+An :class:`Event` is a callback scheduled at a simulated timestamp.  Events
+with equal timestamps are ordered by an insertion sequence number so that
+execution order is deterministic regardless of heap internals.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterator, Optional
+
+
+class Event:
+    """A scheduled callback in simulated time.
+
+    Events are created through :meth:`repro.sim.scheduler.Simulator.schedule`
+    rather than directly.  An event can be cancelled before it fires; a
+    cancelled event is skipped by the queue and never executed.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "kwargs", "cancelled", "label")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs or {}
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def fire(self) -> Any:
+        """Run the event's callback.  The queue calls this, not users."""
+        return self.callback(*self.args, **self.kwargs)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = self.label or getattr(self.callback, "__name__", "?")
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {name}, {state})"
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        label: str = "",
+    ) -> Event:
+        """Schedule *callback* at absolute simulated *time*."""
+        event = Event(time, self._seq, callback, args, kwargs, label)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises :class:`IndexError` when the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise IndexError("pop from empty EventQueue")
+
+    def peek_time(self) -> Optional[float]:
+        """Return the timestamp of the next live event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def discard_cancelled(self) -> None:
+        """Compact the heap, dropping cancelled events eagerly."""
+        live = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(live)
+        self._heap = live
+
+    def note_cancel(self) -> None:
+        """Record that one previously-live event was cancelled externally."""
+        if self._live > 0:
+            self._live -= 1
+
+    def iter_pending(self) -> Iterator[Event]:
+        """Yield live events in an arbitrary order (inspection only)."""
+        return (e for e in self._heap if not e.cancelled)

@@ -1,0 +1,200 @@
+"""Lightweight metrics for simulation runs.
+
+The bench harness reads these to produce the tables in ``EXPERIMENTS.md``.
+All metrics are plain Python (no numpy dependency in the core library) and
+deterministic given a deterministic run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Optional
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("Counter can only increase")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A value that can move up and down."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Stores raw observations; computes summary statistics on demand.
+
+    Simulation runs are small enough (≤ millions of samples) that keeping raw
+    values is simpler and more accurate than bucketing.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.samples.append(value)
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        self.samples.extend(values)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    def mean(self) -> float:
+        if not self.samples:
+            return math.nan
+        return self.total / len(self.samples)
+
+    def stdev(self) -> float:
+        n = len(self.samples)
+        if n < 2:
+            return 0.0
+        mu = self.mean()
+        return math.sqrt(sum((x - mu) ** 2 for x in self.samples) / (n - 1))
+
+    def percentile(self, q: float) -> float:
+        """Return the q-th percentile (0 <= q <= 100), linear interpolation."""
+        if not self.samples:
+            return math.nan
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100) * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return ordered[low]
+        frac = rank - low
+        return ordered[low] * (1 - frac) + ordered[high] * frac
+
+    def min(self) -> float:
+        return min(self.samples) if self.samples else math.nan
+
+    def max(self) -> float:
+        return max(self.samples) if self.samples else math.nan
+
+    def summary(self) -> dict:
+        """Return a dict of the usual summary statistics."""
+        return {
+            "count": self.count,
+            "mean": self.mean(),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "min": self.min(),
+            "max": self.max(),
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean():.4f})"
+
+
+class TimeSeries:
+    """(time, value) observations, e.g. throughput over a run."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.points: list[tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        self.points.append((time, value))
+
+    def values(self) -> list[float]:
+        return [v for _, v in self.points]
+
+    def times(self) -> list[float]:
+        return [t for t, _ in self.points]
+
+    def rate(self, window: Optional[tuple[float, float]] = None) -> float:
+        """Events per second: count of points over the covered interval."""
+        points = self.points
+        if window is not None:
+            lo, hi = window
+            points = [(t, v) for t, v in points if lo <= t <= hi]
+            span = hi - lo
+        else:
+            if len(points) < 2:
+                return 0.0
+            span = points[-1][0] - points[0][0]
+        if span <= 0:
+            return 0.0
+        return len(points) / span
+
+
+class MetricsRegistry:
+    """Namespace of metrics owned by a :class:`~repro.sim.scheduler.Simulator`."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock = clock or (lambda: 0.0)
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.series: dict[str, TimeSeries] = {}
+
+    @property
+    def now(self) -> float:
+        return self._clock()
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self.gauges:
+            self.gauges[name] = Gauge(name)
+        return self.gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name)
+        return self.histograms[name]
+
+    def timeseries(self, name: str) -> TimeSeries:
+        if name not in self.series:
+            self.series[name] = TimeSeries(name)
+        return self.series[name]
+
+    def mark(self, name: str, value: float = 1.0) -> None:
+        """Record a timestamped point on the named time series."""
+        self.timeseries(name).record(self.now, value)
+
+    def snapshot(self) -> dict:
+        """Return all metric values as plain data (for reports/tests)."""
+        return {
+            "counters": {n: c.value for n, c in self.counters.items()},
+            "gauges": {n: g.value for n, g in self.gauges.items()},
+            "histograms": {n: h.summary() for n, h in self.histograms.items()},
+            "series": {n: len(s.points) for n, s in self.series.items()},
+        }

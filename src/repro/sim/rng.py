@@ -1,0 +1,53 @@
+"""Deterministic seed derivation.
+
+All randomness in a simulation flows from one root seed.  Components ask for
+their own generator via a *scope* (any hashable path of labels), and the same
+scope always produces the same stream, independent of the order in which
+other components draw randomness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Any
+
+
+def derive_seed(root: int, *scope: Any) -> int:
+    """Derive a 64-bit child seed from *root* and a scope path.
+
+    Derivation is a SHA-256 over the textual path, so it is stable across
+    Python versions and process invocations (unlike ``hash()``).
+    """
+    text = repr((root,) + tuple(str(s) for s in scope))
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class SeedSequence:
+    """Factory for scoped, reproducible ``random.Random`` generators."""
+
+    def __init__(self, root: int) -> None:
+        self.root = root
+        self._cache: dict[tuple, random.Random] = {}
+
+    def seed_for(self, *scope: Any) -> int:
+        """Return the derived integer seed for *scope*."""
+        return derive_seed(self.root, *scope)
+
+    def rng(self, *scope: Any) -> random.Random:
+        """Return the cached generator for *scope*, creating it on first use.
+
+        Repeated calls with the same scope return the *same* generator
+        object, so a component's draws form one continuous stream.
+        """
+        key = tuple(str(s) for s in scope)
+        generator = self._cache.get(key)
+        if generator is None:
+            generator = random.Random(self.seed_for(*scope))
+            self._cache[key] = generator
+        return generator
+
+    def child(self, *scope: Any) -> "SeedSequence":
+        """Return a new :class:`SeedSequence` rooted under *scope*."""
+        return SeedSequence(self.seed_for(*scope))

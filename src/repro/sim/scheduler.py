@@ -1,0 +1,180 @@
+"""The discrete-event simulator driving every run in this reproduction."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.rng import SeedSequence
+from repro.sim.tracing import TraceLog
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulator is driven incorrectly."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    The simulator owns the simulated clock (:attr:`now`, in seconds), the
+    event queue, the root :class:`~repro.sim.rng.SeedSequence` from which all
+    component RNGs are derived, a :class:`~repro.sim.metrics.MetricsRegistry`
+    and a :class:`~repro.sim.tracing.TraceLog`.
+
+    Typical use::
+
+        sim = Simulator(seed=42)
+        sim.schedule(1.0, do_something)
+        sim.run_until(10.0)
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self.seed = seed
+        self.seeds = SeedSequence(seed)
+        self.queue = EventQueue()
+        self.metrics = MetricsRegistry(clock=lambda: self.now)
+        self.trace = TraceLog(clock=lambda: self.now)
+        self._events_executed = 0
+        self._halted = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule *callback* to run *delay* simulated seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.queue.push(self.now + delay, callback, args, kwargs, label=label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule *callback* at an absolute simulated *time* (>= now)."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule at {time} < now={self.now}")
+        return self.queue.push(time, callback, args, kwargs, label=label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event."""
+        if not event.cancelled:
+            event.cancel()
+            self.queue.note_cancel()
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        start_after: Optional[float] = None,
+        label: str = "",
+        **kwargs: Any,
+    ) -> Callable[[], None]:
+        """Run *callback* periodically every *interval* seconds.
+
+        Returns a zero-argument function that stops the recurrence.  The
+        first firing happens after *start_after* seconds (default: one full
+        interval).
+        """
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive (got {interval})")
+        state = {"stopped": False, "event": None}
+
+        def _tick() -> None:
+            if state["stopped"]:
+                return
+            callback(*args, **kwargs)
+            if not state["stopped"]:
+                state["event"] = self.schedule(interval, _tick, label=label)
+
+        first = interval if start_after is None else start_after
+        state["event"] = self.schedule(first, _tick, label=label)
+
+        def _stop() -> None:
+            state["stopped"] = True
+            event = state["event"]
+            if event is not None:
+                self.cancel(event)
+
+        return _stop
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event.  Returns ``False`` if the queue is empty."""
+        if not self.queue:
+            return False
+        event = self.queue.pop()
+        if event.time < self.now:
+            raise SimulationError("event queue produced an event in the past")
+        self.now = event.time
+        self._events_executed += 1
+        event.fire()
+        return True
+
+    def run_until(self, time: float, max_events: Optional[int] = None) -> int:
+        """Run events until simulated *time* (inclusive of events at *time*).
+
+        Returns the number of events executed.  The clock is advanced to
+        *time* even if the queue drains earlier, so subsequent scheduling is
+        relative to the requested horizon.
+        """
+        executed = 0
+        self._halted = False
+        while not self._halted:
+            next_time = self.queue.peek_time()
+            if next_time is None or next_time > time:
+                break
+            self.step()
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} before reaching t={time}"
+                )
+        if self.now < time:
+            self.now = time
+        return executed
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Run until the event queue is exhausted.  Returns events executed."""
+        executed = 0
+        self._halted = False
+        while not self._halted and self.step():
+            executed += 1
+            if executed >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+        return executed
+
+    def halt(self) -> None:
+        """Stop the current :meth:`run`/:meth:`run_until` after this event."""
+        self._halted = True
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_executed
+
+    # ------------------------------------------------------------------
+    # Randomness
+    # ------------------------------------------------------------------
+    def rng(self, *scope: Any):
+        """Return a deterministic ``random.Random`` for a named component.
+
+        The same ``(seed, *scope)`` always yields an identically-seeded
+        generator, so components do not perturb each other's random streams.
+        """
+        return self.seeds.rng(*scope)

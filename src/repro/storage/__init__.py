@@ -1,0 +1,20 @@
+"""Content-addressed and versioned storage substrate.
+
+- :class:`~repro.storage.blockstore.Blockstore` — CID → object store, the
+  backing store for chain data and for the CrossMsgMeta registry the content
+  resolution protocol reads (§IV-C).
+- :class:`~repro.storage.dag.DagStore` — linked objects (a lite IPLD): lets
+  the resolution protocol push/pull "the whole DAG belonging to the CID".
+- :class:`~repro.storage.statetree.StateTree` — versioned key/value state
+  with O(1) snapshot and revert, used by the VM for transactional message
+  application.
+- :class:`~repro.storage.datastore.Datastore` — a plain namespaced KV store
+  for node-local bookkeeping.
+"""
+
+from repro.storage.blockstore import Blockstore
+from repro.storage.datastore import Datastore
+from repro.storage.statetree import StateTree
+from repro.storage.dag import DagNode, DagStore
+
+__all__ = ["Blockstore", "Datastore", "StateTree", "DagNode", "DagStore"]

@@ -1,0 +1,51 @@
+"""Content-addressed block store (CID → value)."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.crypto.cid import CID, cid_of
+
+
+class Blockstore:
+    """A CID-indexed store of immutable values.
+
+    ``put`` computes the value's CID and stores it; fetching by CID returns
+    exactly the stored value.  Because keys are content hashes, the store is
+    naturally idempotent and deduplicating.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: dict[CID, Any] = {}
+
+    def put(self, value: Any) -> CID:
+        """Store *value* and return its CID."""
+        cid = cid_of(value)
+        self._blocks.setdefault(cid, value)
+        return cid
+
+    def put_many(self, values) -> list[CID]:
+        return [self.put(v) for v in values]
+
+    def get(self, cid: CID) -> Any:
+        """Return the value for *cid*.  Raises :class:`KeyError` if absent."""
+        return self._blocks[cid]
+
+    def get_optional(self, cid: CID) -> Optional[Any]:
+        return self._blocks.get(cid)
+
+    def has(self, cid: CID) -> bool:
+        return cid in self._blocks
+
+    def delete(self, cid: CID) -> bool:
+        """Remove *cid* if present; return whether anything was removed."""
+        return self._blocks.pop(cid, None) is not None
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, cid: CID) -> bool:
+        return cid in self._blocks
+
+    def cids(self) -> Iterator[CID]:
+        return iter(self._blocks)

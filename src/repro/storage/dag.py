@@ -1,0 +1,92 @@
+"""A lite IPLD-style DAG store.
+
+The content resolution protocol (§IV-C) pushes "the whole DAG belonging to
+the CID" — a root object plus everything it links to.  :class:`DagNode`
+wraps a value together with explicit links; :class:`DagStore` can close over
+links to extract or ingest a full sub-DAG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.crypto.cid import CID, cid_of
+from repro.storage.blockstore import Blockstore
+
+
+@dataclass(frozen=True)
+class DagNode:
+    """A value plus the CIDs of the nodes it links to."""
+
+    value: Any
+    links: tuple = field(default_factory=tuple)
+
+    def to_canonical(self):
+        value = self.value.to_canonical() if hasattr(self.value, "to_canonical") else self.value
+        return (value, tuple(link.to_canonical() for link in self.links))
+
+
+class DagStore:
+    """A blockstore specialised for :class:`DagNode` objects."""
+
+    def __init__(self, blockstore: Blockstore = None) -> None:
+        self.blocks = blockstore or Blockstore()
+
+    def put(self, value: Any, links: Iterable[CID] = ()) -> CID:
+        """Store *value* as a DAG node linking to *links*; return its CID."""
+        node = DagNode(value=value, links=tuple(links))
+        return self.blocks.put(node)
+
+    def get(self, cid: CID) -> DagNode:
+        node = self.blocks.get(cid)
+        if not isinstance(node, DagNode):
+            raise TypeError(f"{cid} is not a DagNode")
+        return node
+
+    def has(self, cid: CID) -> bool:
+        return self.blocks.has(cid)
+
+    def walk(self, root: CID) -> Iterator[tuple[CID, DagNode]]:
+        """Depth-first traversal of the sub-DAG under *root*.
+
+        Missing links raise :class:`KeyError` — the caller (the resolution
+        protocol) treats that as "content not resolvable locally".
+        """
+        seen: set[CID] = set()
+        stack = [root]
+        while stack:
+            cid = stack.pop()
+            if cid in seen:
+                continue
+            seen.add(cid)
+            node = self.get(cid)
+            yield cid, node
+            stack.extend(reversed(node.links))
+
+    def extract(self, root: CID) -> dict[CID, DagNode]:
+        """Return the full sub-DAG under *root* as a CID → node map."""
+        return {cid: node for cid, node in self.walk(root)}
+
+    def ingest(self, nodes: dict) -> list[CID]:
+        """Insert a CID → node map (e.g. received from a push message).
+
+        Each node's CID is recomputed and must match its claimed key —
+        content addressing is what makes pushed DAGs trustless.
+        """
+        accepted = []
+        for cid, node in nodes.items():
+            if cid_of(node) != cid:
+                raise ValueError(f"DAG node does not hash to its claimed CID {cid}")
+            self.blocks.put(node)
+            accepted.append(cid)
+        return accepted
+
+    def can_resolve(self, root: CID) -> bool:
+        """True when the whole sub-DAG under *root* is locally present."""
+        try:
+            for _ in self.walk(root):
+                pass
+        except KeyError:
+            return False
+        return True

@@ -1,0 +1,54 @@
+"""Namespaced key-value store for node-local bookkeeping."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+
+class Datastore:
+    """A simple hierarchically-namespaced KV store.
+
+    Keys are strings; ``namespace("a").put("b", v)`` stores under ``a/b``.
+    """
+
+    def __init__(self, prefix: str = "") -> None:
+        self._prefix = prefix
+        self._data: dict[str, Any] = {}
+
+    def _key(self, key: str) -> str:
+        return f"{self._prefix}/{key}" if self._prefix else key
+
+    def put(self, key: str, value: Any) -> None:
+        self._data[self._key(key)] = value
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(self._key(key), default)
+
+    def require(self, key: str) -> Any:
+        """Like :meth:`get` but raises :class:`KeyError` when absent."""
+        return self._data[self._key(key)]
+
+    def has(self, key: str) -> bool:
+        return self._key(key) in self._data
+
+    def delete(self, key: str) -> bool:
+        return self._data.pop(self._key(key), None) is not None
+
+    def keys(self, prefix: str = "") -> Iterator[str]:
+        """Yield stored keys (relative to this namespace) under *prefix*."""
+        full = self._key(prefix)
+        strip = len(self._prefix) + 1 if self._prefix else 0
+        for key in sorted(self._data):
+            if key.startswith(full):
+                yield key[strip:]
+
+    def namespace(self, name: str) -> "Datastore":
+        """Return a view of this store under a child namespace."""
+        child = Datastore(self._key(name))
+        child._data = self._data
+        return child
+
+    def __len__(self) -> int:
+        if not self._prefix:
+            return len(self._data)
+        return sum(1 for _ in self.keys())

@@ -1,0 +1,132 @@
+"""Versioned state tree with snapshot/revert.
+
+The VM wraps every message application in a snapshot: if the message aborts,
+the tree reverts, leaving no partial writes (the transactional semantics the
+paper's cross-msg failure handling relies on, §IV-B).
+
+Implementation: a layered copy-on-write map.  A snapshot pushes a new empty
+layer; writes always go to the top layer; reads walk layers top-down.
+Commit folds the top layer into its parent; revert drops it.  ``root()``
+hashes the flattened state, standing in for the state-root commitment a real
+chain would store in block headers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.crypto.cid import CID, cid_of
+
+_DELETED = object()
+
+
+class StateTree:
+    """A layered key-value state with cheap snapshot/revert."""
+
+    def __init__(self) -> None:
+        self._layers: list[dict[str, Any]] = [{}]
+
+    # ------------------------------------------------------------------
+    # Reads / writes
+    # ------------------------------------------------------------------
+    def get(self, key: str, default: Any = None) -> Any:
+        for layer in reversed(self._layers):
+            if key in layer:
+                value = layer[key]
+                return default if value is _DELETED else value
+        return default
+
+    def has(self, key: str) -> bool:
+        for layer in reversed(self._layers):
+            if key in layer:
+                return layer[key] is not _DELETED
+        return False
+
+    def set(self, key: str, value: Any) -> None:
+        if value is _DELETED:
+            raise ValueError("reserved sentinel cannot be stored")
+        self._layers[-1][key] = value
+
+    def delete(self, key: str) -> None:
+        self._layers[-1][key] = _DELETED
+
+    def keys(self, prefix: str = "") -> Iterator[str]:
+        """Yield live keys (sorted) that start with *prefix*."""
+        merged: dict[str, Any] = {}
+        for layer in self._layers:
+            merged.update(layer)
+        for key in sorted(merged):
+            if merged[key] is not _DELETED and key.startswith(prefix):
+                yield key
+
+    def items(self, prefix: str = "") -> Iterator[tuple[str, Any]]:
+        for key in self.keys(prefix):
+            yield key, self.get(key)
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    def snapshot(self) -> int:
+        """Push a new write layer; returns a token for sanity checking."""
+        self._layers.append({})
+        return len(self._layers) - 1
+
+    def commit(self, token: Optional[int] = None) -> None:
+        """Fold the top layer into its parent."""
+        self._check_token(token)
+        top = self._layers.pop()
+        self._layers[-1].update(top)
+
+    def revert(self, token: Optional[int] = None) -> None:
+        """Discard the top layer."""
+        self._check_token(token)
+        self._layers.pop()
+
+    def _check_token(self, token: Optional[int]) -> None:
+        if len(self._layers) == 1:
+            raise RuntimeError("no open snapshot to close")
+        if token is not None and token != len(self._layers) - 1:
+            raise RuntimeError(
+                f"snapshot token mismatch: expected {len(self._layers) - 1}, got {token}"
+            )
+
+    @property
+    def depth(self) -> int:
+        """Number of open snapshot layers (0 = no transaction in flight)."""
+        return len(self._layers) - 1
+
+    # ------------------------------------------------------------------
+    # Commitments and copies
+    # ------------------------------------------------------------------
+    def flatten(self) -> dict[str, Any]:
+        """Return the fully-merged live state as a plain dict."""
+        merged: dict[str, Any] = {}
+        for layer in self._layers:
+            merged.update(layer)
+        return {k: v for k, v in merged.items() if v is not _DELETED}
+
+    def root(self) -> CID:
+        """Content commitment over the full live state (the 'state root')."""
+        flat = self.flatten()
+        return cid_of({k: _commit_value(v) for k, v in flat.items()})
+
+    def copy(self) -> "StateTree":
+        """Deep-enough copy: a new tree seeded with the flattened state.
+
+        Values are shared (they are treated as immutable records by the VM);
+        layering history is not copied.
+        """
+        clone = StateTree()
+        clone._layers = [dict(self.flatten())]
+        return clone
+
+
+def _commit_value(value: Any) -> Any:
+    """Reduce a stored value to something canonically encodable."""
+    if hasattr(value, "to_canonical"):
+        return value.to_canonical()
+    if isinstance(value, dict):
+        return {k: _commit_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_commit_value(v) for v in value]
+    return value

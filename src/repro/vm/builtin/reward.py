@@ -1,0 +1,45 @@
+"""Block reward actor.
+
+Subnets reward miners with transaction fees (§II); rootnet-style block
+rewards are also supported so the single-chain baseline matches present-day
+Filecoin economics.  The consensus layer calls ``award`` implicitly once per
+block.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.keys import Address
+from repro.vm.actor import Actor, export
+from repro.vm.exitcode import ExitCode
+
+REWARD_ACTOR_ADDRESS = Address.actor(2)
+
+
+class RewardActor(Actor):
+    """Pays a fixed per-block subsidy out of a pre-funded reserve."""
+
+    CODE = "reward"
+
+    @export
+    def constructor(self, ctx, per_block: int = 0) -> None:
+        ctx.require(per_block >= 0, "per_block reward cannot be negative")
+        ctx.state_set("per_block", per_block)
+        ctx.state_set("total_awarded", 0)
+
+    @export
+    def award(self, ctx, miner: str) -> int:
+        """Pay the block subsidy to *miner*; returns the amount paid.
+
+        Only callable by the system (consensus layer), never by users.
+        """
+        ctx.require(
+            ctx.caller.is_system_actor,
+            "award is consensus-only",
+            exit_code=ExitCode.USR_FORBIDDEN,
+        )
+        per_block = ctx.state_get("per_block", 0)
+        payable = min(per_block, ctx.own_balance)
+        if payable > 0:
+            ctx.transfer(Address(miner), payable)
+            ctx.state_set("total_awarded", ctx.state_get("total_awarded", 0) + payable)
+        return payable

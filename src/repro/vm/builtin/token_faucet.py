@@ -1,0 +1,41 @@
+"""A test/bench faucet actor: dispenses a bounded grant per address.
+
+Used by workloads and examples to fund wallets inside freshly-spawned
+subnets without routing setup transfers through the whole hierarchy.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.keys import Address
+from repro.vm.actor import Actor, export
+from repro.vm.exitcode import ExitCode
+
+
+class FaucetActor(Actor):
+    """Pays each requesting address at most ``grant`` tokens, once."""
+
+    CODE = "faucet"
+
+    @export
+    def constructor(self, ctx, grant: int = 1000) -> None:
+        ctx.require(grant > 0, "grant must be positive")
+        ctx.state_set("grant", grant)
+
+    @export
+    def drip(self, ctx) -> int:
+        """Send the grant to the caller; aborts on repeat requests."""
+        claimed_key = f"claimed/{ctx.caller.raw}"
+        ctx.require(
+            not ctx.state_has(claimed_key),
+            f"{ctx.caller} already claimed",
+            exit_code=ExitCode.USR_FORBIDDEN,
+        )
+        grant = ctx.state_get("grant")
+        ctx.require(
+            ctx.own_balance >= grant,
+            "faucet is dry",
+            exit_code=ExitCode.USR_INSUFFICIENT_FUNDS,
+        )
+        ctx.state_set(claimed_key, True)
+        ctx.transfer(ctx.caller, grant)
+        return grant

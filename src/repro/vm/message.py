@@ -1,0 +1,98 @@
+"""VM messages (transactions) and receipts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.crypto.cid import CID, cid_of
+from repro.crypto.keys import Address, KeyPair
+from repro.crypto.signature import Signature, sign, verify
+from repro.vm.exitcode import ExitCode
+
+DEFAULT_GAS_LIMIT = 1_000_000
+
+
+@dataclass(frozen=True)
+class Message:
+    """An unsigned transaction.
+
+    ``value`` is in integer token base units (attoFIL-like).  ``method`` is
+    the exported actor method name; plain value transfers use method
+    ``"send"`` with empty params.
+    """
+
+    from_addr: Address
+    to_addr: Address
+    value: int
+    method: str = "send"
+    params: Any = None
+    nonce: int = 0
+    gas_limit: int = DEFAULT_GAS_LIMIT
+
+    def __post_init__(self):
+        if self.value < 0:
+            raise ValueError("message value cannot be negative")
+        if self.nonce < 0:
+            raise ValueError("nonce cannot be negative")
+        if self.gas_limit <= 0:
+            raise ValueError("gas limit must be positive")
+
+    def to_canonical(self):
+        params = self.params
+        if hasattr(params, "to_canonical"):
+            params = params.to_canonical()
+        return (
+            self.from_addr.raw,
+            self.to_addr.raw,
+            self.value,
+            self.method,
+            params,
+            self.nonce,
+            self.gas_limit,
+        )
+
+    @property
+    def cid(self) -> CID:
+        return cid_of(self)
+
+
+@dataclass(frozen=True)
+class SignedMessage:
+    """A message plus its sender's signature."""
+
+    message: Message
+    signature: Signature
+
+    @classmethod
+    def create(cls, message: Message, keypair: KeyPair) -> "SignedMessage":
+        if keypair.address != message.from_addr:
+            raise ValueError("signer does not match message sender")
+        return cls(message=message, signature=sign(keypair, message))
+
+    def verify_signature(self) -> bool:
+        if self.signature.signer != self.message.from_addr:
+            return False
+        return verify(self.signature, self.message)
+
+    def to_canonical(self):
+        return (self.message.to_canonical(), self.signature.to_canonical())
+
+    @property
+    def cid(self) -> CID:
+        return cid_of(self)
+
+
+@dataclass(frozen=True)
+class Receipt:
+    """The result of applying one message."""
+
+    exit_code: ExitCode
+    return_value: Any = None
+    gas_used: int = 0
+    error: str = ""
+    events: tuple = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        return self.exit_code == ExitCode.OK

@@ -1,0 +1,17 @@
+"""Synthetic workload generators for experiments and examples."""
+
+from repro.workloads.generator import (
+    PaymentWorkload,
+    CrossNetWorkload,
+    WorkloadStats,
+    open_loop_payments,
+    sender_fund_spec,
+)
+
+__all__ = [
+    "PaymentWorkload",
+    "CrossNetWorkload",
+    "WorkloadStats",
+    "open_loop_payments",
+    "sender_fund_spec",
+]

@@ -1,0 +1,143 @@
+"""Unit tests for blocks and validation rules."""
+
+import pytest
+
+from repro.crypto.cid import cid_of
+from repro.crypto.keys import KeyPair
+from repro.chain.block import BlockHeader, FullBlock, ZERO_CID
+from repro.chain.validation import ValidationError, validate_block_shape
+from repro.vm.message import Message, SignedMessage
+
+
+def make_header(height=0, parent=ZERO_CID, subnet="/root", timestamp=0.0, miner=None, **extra):
+    return BlockHeader(
+        subnet_id=subnet,
+        height=height,
+        parent=parent,
+        state_root=cid_of("state"),
+        messages_root=FullBlock.compute_messages_root((), ()),
+        timestamp=timestamp,
+        miner=miner or KeyPair("miner").address,
+        consensus_data=extra,
+    )
+
+
+def make_signed(nonce=0, value=1):
+    key = KeyPair("sender")
+    message = Message(
+        from_addr=key.address, to_addr=KeyPair("recipient").address,
+        value=value, nonce=nonce,
+    )
+    return SignedMessage.create(message, key)
+
+
+def test_header_cid_is_content_addressed():
+    assert make_header().cid == make_header().cid
+    assert make_header(height=1, parent=cid_of("p")).cid != make_header().cid
+
+
+def test_genesis_detection():
+    assert make_header().is_genesis
+    assert not make_header(height=1, parent=cid_of("p")).is_genesis
+    assert not make_header(height=0, parent=cid_of("p")).is_genesis
+
+
+def test_messages_root_commits_to_payload():
+    signed = make_signed()
+    root_with = FullBlock.compute_messages_root((signed,), ())
+    root_without = FullBlock.compute_messages_root((), ())
+    assert root_with != root_without
+
+
+def test_messages_root_matches_detects_tamper():
+    signed = make_signed()
+    header = make_header()
+    block = FullBlock(header=header, messages=(signed,))
+    assert not block.messages_root_matches()  # header committed to empty
+
+
+def test_validate_genesis():
+    genesis = FullBlock(header=make_header())
+    validate_block_shape(genesis, None, "/root")
+
+
+def test_validate_genesis_with_parent_rejected():
+    genesis = FullBlock(header=make_header())
+    with pytest.raises(ValidationError):
+        validate_block_shape(genesis, genesis, "/root")
+
+
+def test_validate_wrong_subnet():
+    genesis = FullBlock(header=make_header())
+    with pytest.raises(ValidationError, match="subnet"):
+        validate_block_shape(genesis, None, "/root/a")
+
+
+def test_validate_child_block():
+    genesis = FullBlock(header=make_header())
+    child = FullBlock(header=make_header(height=1, parent=genesis.cid, timestamp=1.0))
+    validate_block_shape(child, genesis, "/root")
+
+
+def test_validate_height_gap_rejected():
+    genesis = FullBlock(header=make_header())
+    skip = FullBlock(header=make_header(height=2, parent=genesis.cid, timestamp=1.0))
+    with pytest.raises(ValidationError, match="height"):
+        validate_block_shape(skip, genesis, "/root")
+
+
+def test_validate_parent_mismatch_rejected():
+    genesis = FullBlock(header=make_header())
+    child = FullBlock(header=make_header(height=1, parent=cid_of("other"), timestamp=1.0))
+    with pytest.raises(ValidationError):
+        validate_block_shape(child, genesis, "/root")
+
+
+def test_validate_timestamp_regression_rejected():
+    genesis = FullBlock(header=make_header(timestamp=5.0))
+    child = FullBlock(header=make_header(height=1, parent=genesis.cid, timestamp=1.0))
+    with pytest.raises(ValidationError, match="timestamp"):
+        validate_block_shape(child, genesis, "/root")
+
+
+def test_validate_missing_parent_rejected():
+    child = FullBlock(header=make_header(height=1, parent=cid_of("gone"), timestamp=1.0))
+    with pytest.raises(ValidationError, match="parent"):
+        validate_block_shape(child, None, "/root")
+
+
+def test_validate_bad_signature_rejected():
+    from dataclasses import replace
+
+    genesis = FullBlock(header=make_header())
+    signed = make_signed()
+    # Tamper with the inner message after signing.
+    tampered = SignedMessage(
+        message=replace(signed.message, value=999), signature=signed.signature
+    )
+    header = BlockHeader(
+        subnet_id="/root",
+        height=1,
+        parent=genesis.cid,
+        state_root=cid_of("state"),
+        messages_root=FullBlock.compute_messages_root((tampered,), ()),
+        timestamp=1.0,
+        miner=KeyPair("miner").address,
+    )
+    block = FullBlock(header=header, messages=(tampered,))
+    with pytest.raises(ValidationError, match="signature"):
+        validate_block_shape(block, genesis, "/root")
+
+
+def test_validate_capacity():
+    genesis = FullBlock(header=make_header())
+    signed = make_signed()
+    header = BlockHeader(
+        subnet_id="/root", height=1, parent=genesis.cid,
+        state_root=cid_of("s"),
+        messages_root=FullBlock.compute_messages_root((signed,), ()),
+        timestamp=1.0, miner=KeyPair("m").address,
+    )
+    block = FullBlock(header=header, messages=(signed,))
+    with pytest.raises(ValidationError, match="capacity"):
+        validate_block_shape(block, genesis, "/root", max_messages=0)

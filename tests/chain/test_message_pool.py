@@ -1,0 +1,130 @@
+"""Unit tests for the mempool."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.chain.message_pool import MessagePool
+from repro.vm.message import Message, SignedMessage
+
+
+def signed_payment(sender_seed, nonce, value=1):
+    key = KeyPair(sender_seed)
+    message = Message(
+        from_addr=key.address,
+        to_addr=KeyPair("recipient").address,
+        value=value,
+        nonce=nonce,
+    )
+    return SignedMessage.create(message, key)
+
+
+def test_add_and_len():
+    pool = MessagePool()
+    assert pool.add(signed_payment("a", 0))
+    assert len(pool) == 1
+
+
+def test_duplicate_rejected():
+    pool = MessagePool()
+    signed = signed_payment("a", 0)
+    assert pool.add(signed)
+    assert not pool.add(signed)
+    assert len(pool) == 1
+
+
+def test_same_nonce_first_seen_wins():
+    pool = MessagePool()
+    first = signed_payment("a", 0, value=1)
+    second = signed_payment("a", 0, value=2)
+    assert pool.add(first)
+    assert not pool.add(second)
+    assert pool.pending_for(first.message.from_addr) == [first]
+
+
+def test_capacity_enforced():
+    pool = MessagePool(capacity=2)
+    assert pool.add(signed_payment("a", 0))
+    assert pool.add(signed_payment("a", 1))
+    assert not pool.add(signed_payment("a", 2))
+
+
+def test_bad_signature_rejected():
+    from dataclasses import replace
+
+    pool = MessagePool()
+    signed = signed_payment("a", 0)
+    tampered = SignedMessage(
+        message=replace(signed.message, value=99), signature=signed.signature
+    )
+    assert not pool.add(tampered)
+
+
+def test_select_respects_nonce_order():
+    pool = MessagePool()
+    for nonce in (2, 0, 1):
+        pool.add(signed_payment("a", nonce))
+    selected = pool.select(nonce_of=lambda a: 0)
+    assert [s.message.nonce for s in selected] == [0, 1, 2]
+
+
+def test_select_skips_gapped_nonces():
+    pool = MessagePool()
+    pool.add(signed_payment("a", 0))
+    pool.add(signed_payment("a", 2))  # gap at 1
+    selected = pool.select(nonce_of=lambda a: 0)
+    assert [s.message.nonce for s in selected] == [0]
+
+
+def test_select_starts_at_chain_nonce():
+    pool = MessagePool()
+    for nonce in range(4):
+        pool.add(signed_payment("a", nonce))
+    selected = pool.select(nonce_of=lambda a: 2)
+    assert [s.message.nonce for s in selected] == [2, 3]
+
+
+def test_select_round_robin_fairness():
+    pool = MessagePool()
+    for nonce in range(10):
+        pool.add(signed_payment("spammy", nonce))
+    pool.add(signed_payment("quiet", 0))
+    selected = pool.select(nonce_of=lambda a: 0, max_messages=4)
+    senders = {s.message.from_addr for s in selected}
+    assert len(senders) == 2  # the quiet sender got in
+
+
+def test_select_cap():
+    pool = MessagePool()
+    for nonce in range(10):
+        pool.add(signed_payment("a", nonce))
+    assert len(pool.select(nonce_of=lambda a: 0, max_messages=3)) == 3
+
+
+def test_remove_included():
+    pool = MessagePool()
+    messages = [signed_payment("a", n) for n in range(3)]
+    for signed in messages:
+        pool.add(signed)
+    removed = pool.remove_included(messages[:2])
+    assert removed == 2
+    assert len(pool) == 1
+
+
+def test_remove_included_ignores_unknown():
+    pool = MessagePool()
+    assert pool.remove_included([signed_payment("a", 0)]) == 0
+
+
+def test_drop_stale():
+    pool = MessagePool()
+    for nonce in range(5):
+        pool.add(signed_payment("a", nonce))
+    dropped = pool.drop_stale(nonce_of=lambda a: 3)
+    assert dropped == 3
+    remaining = pool.pending_for(signed_payment("a", 0).message.from_addr)
+    assert [s.message.nonce for s in remaining] == [3, 4]
+
+
+def test_pending_for_unknown_sender_empty():
+    pool = MessagePool()
+    assert pool.pending_for(KeyPair("ghost").address) == []

@@ -1,0 +1,114 @@
+"""Shared cluster harness for consensus tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.chain.genesis import GenesisParams, build_genesis
+from repro.chain.node import ChainNode
+from repro.consensus.base import ConsensusParams, Validator, ValidatorSet
+from repro.net.gossip import GossipNetwork
+from repro.net.topology import Topology, UniformLatency
+from repro.net.transport import Transport
+from repro.sim.scheduler import Simulator
+from repro.vm.message import Message, SignedMessage
+
+
+class Cluster:
+    """N validator nodes running one subnet chain under one engine."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        engine: str = "poa",
+        seed: int = 1,
+        block_time: float = 1.0,
+        latency: float = 0.02,
+        byzantine: dict = None,
+        powers: list = None,
+        allocations: dict = None,
+        consensus_overrides: dict = None,
+    ) -> None:
+        self.sim = Simulator(seed=seed)
+        topology = Topology(UniformLatency(base=latency, jitter=latency / 2))
+        self.gossip = GossipNetwork(self.sim, Transport(self.sim, topology))
+        self.keys = [KeyPair(f"validator-{i}") for i in range(n_nodes)]
+        powers = powers or [1] * n_nodes
+        validators = ValidatorSet(
+            Validator(node_id=f"n{i}", address=self.keys[i].address, power=powers[i])
+            for i in range(n_nodes)
+        )
+        self.user_keys = [KeyPair(f"user-{i}") for i in range(4)]
+        genesis_allocations = {k.address: 1_000_000 for k in self.user_keys}
+        if allocations:
+            genesis_allocations.update(allocations)
+        genesis_block, genesis_vm = build_genesis(
+            GenesisParams(subnet_id="/root", allocations=genesis_allocations)
+        )
+        params_kwargs = dict(engine=engine, block_time=block_time)
+        params_kwargs.update(consensus_overrides or {})
+        byzantine = byzantine or {}
+        self.nodes = [
+            ChainNode(
+                sim=self.sim,
+                node_id=f"n{i}",
+                keypair=self.keys[i],
+                subnet_id="/root",
+                genesis_block=genesis_block,
+                genesis_vm=genesis_vm,
+                gossip=self.gossip,
+                validators=validators,
+                consensus_params=ConsensusParams(**params_kwargs),
+                byzantine=byzantine.get(f"n{i}"),
+            )
+            for i in range(n_nodes)
+        ]
+        self.genesis_block = genesis_block
+
+    def start(self):
+        for node in self.nodes:
+            node.start()
+        return self
+
+    def run(self, seconds: float):
+        self.sim.run_until(self.sim.now + seconds)
+        return self
+
+    def submit_payment(self, user_index: int, nonce: int, to=None, value: int = 1, node_index: int = 0):
+        key = self.user_keys[user_index]
+        to_addr = to or self.user_keys[(user_index + 1) % len(self.user_keys)].address
+        message = Message(from_addr=key.address, to_addr=to_addr, value=value, nonce=nonce)
+        signed = SignedMessage.create(message, key)
+        return self.nodes[node_index].submit_message(signed)
+
+    def heads(self):
+        return [node.head() for node in self.nodes]
+
+    def heights(self):
+        return [node.head().height for node in self.nodes]
+
+    def converged_prefix_height(self) -> int:
+        """Highest height at which all nodes agree on the canonical block."""
+        min_height = min(self.heights())
+        for height in range(min_height, -1, -1):
+            cids = {
+                node.store.block_at_height(height).cid
+                for node in self.nodes
+                if node.store.block_at_height(height) is not None
+            }
+            if len(cids) == 1:
+                return height
+        return -1
+
+
+@pytest.fixture
+def make_cluster():
+    clusters = []
+
+    def factory(*args, **kwargs):
+        cluster = Cluster(*args, **kwargs)
+        clusters.append(cluster)
+        return cluster
+
+    yield factory

@@ -1,0 +1,57 @@
+"""Unit tests for CIDs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.cid import CID, cid_of
+
+
+def test_equal_content_equal_cid():
+    assert cid_of({"a": 1}) == cid_of({"a": 1})
+
+
+def test_different_content_different_cid():
+    assert cid_of("x") != cid_of("y")
+
+
+def test_cid_is_hashable_and_usable_as_key():
+    mapping = {cid_of(1): "one"}
+    assert mapping[cid_of(1)] == "one"
+
+
+def test_cid_roundtrips_hex():
+    cid = cid_of("roundtrip")
+    assert CID.from_hex(cid.hex()) == cid
+    assert CID.from_hex(str(cid)) == cid
+
+
+def test_cid_requires_32_bytes():
+    with pytest.raises(ValueError):
+        CID(b"short")
+
+
+def test_cid_is_immutable():
+    cid = cid_of("x")
+    with pytest.raises(AttributeError):
+        cid.digest = b"0" * 32
+
+
+def test_cid_short_form_is_prefix():
+    cid = cid_of("abc")
+    assert str(cid).startswith(cid.short())
+
+
+def test_cid_ordering_is_total():
+    cids = sorted([cid_of(i) for i in range(10)])
+    assert cids == sorted(cids)
+
+
+def test_cid_embeds_in_canonical_encoding():
+    cid = cid_of("inner")
+    assert cid_of({"link": cid}) == cid_of({"link": cid})
+
+
+@given(st.integers() | st.text(max_size=30))
+def test_cid_deterministic(value):
+    assert cid_of(value) == cid_of(value)

@@ -1,0 +1,99 @@
+"""Unit tests for keys, signatures and multisignatures."""
+
+from repro.crypto.keys import Address, KeyPair
+from repro.crypto.multisig import aggregate, verify_multisig
+from repro.crypto.signature import Signature, sign, verify
+
+
+def test_keypair_is_deterministic():
+    assert KeyPair("alice").address == KeyPair("alice").address
+    assert KeyPair("alice").address != KeyPair("bob").address
+
+
+def test_address_forms():
+    key_addr = KeyPair("alice").address
+    assert key_addr.raw.startswith("f1")
+    assert not key_addr.is_system_actor
+    actor_addr = Address.actor(64)
+    assert actor_addr.raw == "f064"
+    assert actor_addr.is_system_actor
+
+
+def test_sign_and_verify():
+    keypair = KeyPair("alice")
+    signature = sign(keypair, {"amount": 10})
+    assert verify(signature, {"amount": 10})
+    assert verify(signature, {"amount": 10}, keypair=keypair)
+
+
+def test_verify_rejects_different_message():
+    keypair = KeyPair("alice")
+    signature = sign(keypair, "msg-a")
+    assert not verify(signature, "msg-b")
+
+
+def test_fabricated_tag_fails_verification():
+    keypair = KeyPair("alice")
+    forged = Signature(signer=keypair.address, public=keypair.public, tag=b"\x00" * 32)
+    assert not verify(forged, "anything")
+
+
+def test_signature_with_mismatched_address_fails():
+    alice, bob = KeyPair("alice"), KeyPair("bob")
+    signature = sign(alice, "msg")
+    tampered = Signature(signer=bob.address, public=alice.public, tag=signature.tag)
+    assert not verify(tampered, "msg")
+
+
+def test_replaying_tag_on_other_message_fails():
+    keypair = KeyPair("alice")
+    signature = sign(keypair, "original")
+    replay = Signature(signer=keypair.address, public=keypair.public, tag=signature.tag)
+    assert not verify(replay, "different")
+    assert verify(replay, "original")  # same message still fine
+
+
+def test_aggregate_dedupes_and_sorts():
+    keys = [KeyPair(f"k{i}") for i in range(3)]
+    signatures = [sign(k, "m") for k in keys] + [sign(keys[0], "m")]
+    multisig = aggregate(signatures)
+    assert len(multisig) == 3
+    assert list(multisig.signers) == sorted(multisig.signers)
+
+
+def test_aggregate_is_order_independent():
+    keys = [KeyPair(f"k{i}") for i in range(4)]
+    signatures = [sign(k, "m") for k in keys]
+    forward = aggregate(signatures)
+    backward = aggregate(reversed(signatures))
+    assert forward == backward
+
+
+def test_multisig_threshold_met():
+    keys = [KeyPair(f"k{i}") for i in range(4)]
+    authorized = [k.address for k in keys]
+    multisig = aggregate(sign(k, "m") for k in keys[:3])
+    assert verify_multisig(multisig, "m", authorized, threshold=3)
+    assert not verify_multisig(multisig, "m", authorized, threshold=4)
+
+
+def test_multisig_ignores_unauthorized_signers():
+    keys = [KeyPair(f"k{i}") for i in range(3)]
+    outsider = KeyPair("outsider")
+    authorized = [k.address for k in keys]
+    multisig = aggregate([sign(keys[0], "m"), sign(outsider, "m")])
+    assert verify_multisig(multisig, "m", authorized, threshold=1)
+    assert not verify_multisig(multisig, "m", authorized, threshold=2)
+
+
+def test_multisig_rejects_wrong_message():
+    keys = [KeyPair(f"k{i}") for i in range(2)]
+    multisig = aggregate(sign(k, "m") for k in keys)
+    assert not verify_multisig(multisig, "other", [k.address for k in keys], threshold=1)
+
+
+def test_multisig_threshold_must_be_positive():
+    import pytest
+
+    with pytest.raises(ValueError):
+        verify_multisig(aggregate([]), "m", [], threshold=0)

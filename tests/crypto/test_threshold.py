@@ -1,0 +1,105 @@
+"""Unit tests for threshold signatures."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.threshold import ThresholdScheme
+
+
+def test_combine_with_exactly_k_shares():
+    scheme = ThresholdScheme("grp", threshold=3, participants=5)
+    partials = [
+        ThresholdScheme.partial_sign(scheme.share_for(i), "msg") for i in (1, 3, 5)
+    ]
+    signature = scheme.combine(partials, "msg")
+    assert scheme.verify(signature, "msg")
+
+
+def test_combine_with_more_than_k_shares():
+    scheme = ThresholdScheme("grp", threshold=2, participants=4)
+    partials = [
+        ThresholdScheme.partial_sign(scheme.share_for(i), "msg") for i in (1, 2, 3, 4)
+    ]
+    assert scheme.verify(scheme.combine(partials, "msg"), "msg")
+
+
+def test_fewer_than_k_shares_fails():
+    scheme = ThresholdScheme("grp", threshold=3, participants=5)
+    partials = [
+        ThresholdScheme.partial_sign(scheme.share_for(i), "msg") for i in (1, 2)
+    ]
+    with pytest.raises(ValueError):
+        scheme.combine(partials, "msg")
+
+
+def test_duplicate_shares_do_not_count_twice():
+    scheme = ThresholdScheme("grp", threshold=2, participants=3)
+    partial = ThresholdScheme.partial_sign(scheme.share_for(1), "msg")
+    with pytest.raises(ValueError):
+        scheme.combine([partial, partial], "msg")
+
+
+def test_signature_bound_to_message():
+    scheme = ThresholdScheme("grp", threshold=2, participants=3)
+    partials = [
+        ThresholdScheme.partial_sign(scheme.share_for(i), "msg-a") for i in (1, 2)
+    ]
+    signature = scheme.combine(partials, "msg-a")
+    assert not scheme.verify(signature, "msg-b")
+
+
+def test_partials_cannot_be_replayed_across_messages():
+    scheme = ThresholdScheme("grp", threshold=2, participants=3)
+    partials_a = [
+        ThresholdScheme.partial_sign(scheme.share_for(i), "msg-a") for i in (1, 2)
+    ]
+    # Combine claims message b while partials signed message a: the
+    # reconstructed secret is wrong, so verification fails.
+    signature = scheme.combine(partials_a, "msg-b")
+    assert not scheme.verify(signature, "msg-b")
+
+
+def test_foreign_group_partials_rejected():
+    scheme_a = ThresholdScheme("a", threshold=2, participants=3)
+    scheme_b = ThresholdScheme("b", threshold=2, participants=3)
+    partials = [
+        ThresholdScheme.partial_sign(scheme_b.share_for(i), "msg") for i in (1, 2)
+    ]
+    with pytest.raises(ValueError):
+        scheme_a.combine(partials, "msg")
+
+
+def test_wrong_group_signature_rejected():
+    scheme_a = ThresholdScheme("a", threshold=1, participants=1)
+    scheme_b = ThresholdScheme("b", threshold=1, participants=1)
+    partial = ThresholdScheme.partial_sign(scheme_a.share_for(1), "msg")
+    signature = scheme_a.combine([partial], "msg")
+    assert not scheme_b.verify(signature, "msg")
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        ThresholdScheme("grp", threshold=0, participants=3)
+    with pytest.raises(ValueError):
+        ThresholdScheme("grp", threshold=4, participants=3)
+
+
+@given(
+    st.integers(min_value=1, max_value=7),
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_any_k_subset_reconstructs(k_raw, extra, seed):
+    n = min(7, k_raw + extra)
+    k = min(k_raw, n)
+    scheme = ThresholdScheme("grp", threshold=k, participants=n, seed=seed)
+    import random
+
+    rng = random.Random(seed)
+    subset = rng.sample(range(1, n + 1), k)
+    partials = [
+        ThresholdScheme.partial_sign(scheme.share_for(i), ("m", seed)) for i in subset
+    ]
+    signature = scheme.combine(partials, ("m", seed))
+    assert scheme.verify(signature, ("m", seed))

@@ -1,0 +1,123 @@
+"""Failure injection: partitions, message loss, and byzantine checkpointing
+behaviours, asserting the system degrades and recovers as designed."""
+
+import pytest
+
+from repro.hierarchy import ROOTNET, HierarchicalSystem, SubnetConfig, audit_system
+
+
+def test_subnet_recovers_from_internal_partition():
+    """A minority validator partitioned away rejoins and catches up."""
+    system = HierarchicalSystem(
+        seed=81, root_validators=3, root_block_time=0.5, checkpoint_period=5,
+    ).start()
+    sub = system.spawn_subnet(
+        SubnetConfig(name="part", validators=3, block_time=0.25, checkpoint_period=5)
+    )
+    system.run_for(2.0)
+    topology = system.gossip.transport.topology
+    isolated = system.nodes(sub)[2]
+    handle = topology.partition({isolated.node_id})
+    system.run_for(5.0)
+    majority_height = system.node(sub).head().height
+    lagging_height = isolated.head().height
+    assert majority_height > lagging_height  # majority kept going
+    topology.heal(handle)
+    system.run_for(10.0)
+    # Lazy gossip (IHAVE/IWANT) heals the gap; the node catches up.
+    assert isolated.head().height >= system.node(sub).head().height - 2
+
+
+def test_crossnet_traffic_survives_lossy_network():
+    system = HierarchicalSystem(
+        seed=83, root_validators=3, root_block_time=0.5, checkpoint_period=5,
+        loss_rate=0.10, wallet_funds={"alice": 10**6},
+    ).start()
+    sub = system.spawn_subnet(
+        SubnetConfig(name="lossy", validators=3, block_time=0.25, checkpoint_period=5)
+    )
+    alice = system.wallets["alice"]
+    system.fund_subnet(alice, sub, alice.address, 50_000)
+    assert system.wait_for(
+        lambda: system.balance(sub, alice.address) >= 50_000, timeout=90.0
+    )
+    sink = system.create_wallet("lossy-sink")
+    system.cross_send(alice, sub, ROOTNET, sink.address, 5_000)
+    assert system.wait_for(
+        lambda: system.balance(ROOTNET, sink.address) == 5_000, timeout=240.0
+    )
+    assert audit_system(system).ok
+
+
+def test_checkpointing_survives_parent_partition():
+    """Cut the subnet off from the parent's gossip; checkpoints resume
+    after healing (the fallback submitter retries)."""
+    system = HierarchicalSystem(
+        seed=85, root_validators=3, root_block_time=0.5, checkpoint_period=4,
+    ).start()
+    sub = system.spawn_subnet(
+        SubnetConfig(name="cut", validators=3, block_time=0.25, checkpoint_period=4)
+    )
+    system.run_for(5.0)
+    window_before = system.node(ROOTNET).vm.state.get(
+        f"actor/{system.sa_address(sub).raw}/last_ckpt_window", -1
+    )
+    topology = system.gossip.transport.topology
+    subnet_ids = {n.node_id for n in system.nodes(sub)}
+    handle = topology.partition(subnet_ids)
+    system.run_for(10.0)
+    topology.heal(handle)
+    system.run_for(30.0)
+    window_after = system.node(ROOTNET).vm.state.get(
+        f"actor/{system.sa_address(sub).raw}/last_ckpt_window", -1
+    )
+    assert window_after > window_before, "checkpointing never recovered"
+
+
+def test_withheld_checkpoint_signatures_respect_policy():
+    """With threshold 2-of-3 and one signature withholder, checkpoints
+    still commit; with two withholders they cannot."""
+    working = HierarchicalSystem(
+        seed=87, root_validators=3, root_block_time=0.5, checkpoint_period=4,
+    ).start()
+    sub_ok = working.spawn_subnet(
+        SubnetConfig(
+            name="onesilent", validators=3, block_time=0.25, checkpoint_period=4,
+            byzantine={0: {"withhold_checkpoint_sig"}},
+        )
+    )
+    assert working.wait_for(
+        lambda: working.child_record(ROOTNET, sub_ok)["last_ckpt_cid"] != "00" * 32,
+        timeout=60.0,
+    )
+
+    broken = HierarchicalSystem(
+        seed=89, root_validators=3, root_block_time=0.5, checkpoint_period=4,
+    ).start()
+    sub_bad = broken.spawn_subnet(
+        SubnetConfig(
+            name="twosilent", validators=3, block_time=0.25, checkpoint_period=4,
+            byzantine={0: {"withhold_checkpoint_sig"}, 1: {"withhold_checkpoint_sig"}},
+        )
+    )
+    broken.run_for(30.0)
+    assert broken.child_record(ROOTNET, sub_bad)["last_ckpt_cid"] == "00" * 32
+
+
+def test_deterministic_full_system_run():
+    """Identical seeds produce identical traces for a full hierarchy run."""
+
+    def run():
+        system = HierarchicalSystem(
+            seed=91, root_validators=3, root_block_time=0.5, checkpoint_period=5,
+            wallet_funds={"alice": 10**6},
+        ).start()
+        sub = system.spawn_subnet(
+            SubnetConfig(name="det", validators=3, block_time=0.25, checkpoint_period=5)
+        )
+        alice = system.wallets["alice"]
+        system.fund_subnet(alice, sub, alice.address, 10_000)
+        system.run_for(20.0)
+        return system.sim.trace.digest()
+
+    assert run() == run()

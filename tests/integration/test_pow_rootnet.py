@@ -1,0 +1,59 @@
+"""Integration: a PoW rootnet (present-day-Filecoin-style anchor, §II)
+hosting a BFT subnet — checkpoints and cross-msgs survive probabilistic
+finality and occasional reorgs on the parent."""
+
+import pytest
+
+from repro.hierarchy import ROOTNET, HierarchicalSystem, SubnetConfig, audit_system
+
+
+@pytest.fixture(scope="module")
+def system():
+    system = HierarchicalSystem(
+        seed=131,
+        root_validators=3,
+        root_engine="pow",
+        root_block_time=0.5,
+        checkpoint_period=6,
+        wallet_funds={"alice": 10**9},
+    ).start()
+    system.spawn_subnet(
+        SubnetConfig(name="bft", validators=4, engine="tendermint",
+                     block_time=0.25, checkpoint_period=6)
+    )
+    return system
+
+
+def test_subnet_spawns_on_pow_root(system):
+    subnet = ROOTNET.child("bft")
+    assert subnet in system.nodes_by_subnet
+    system.run_for(5.0)
+    assert system.node(subnet).head().height > 5
+    assert system.node(ROOTNET).engine.NAME == "pow"
+
+
+def test_crossnet_roundtrip_over_pow_root(system):
+    subnet = ROOTNET.child("bft")
+    alice = system.wallets["alice"]
+    system.fund_subnet(alice, subnet, alice.address, 100_000)
+    assert system.wait_for(
+        lambda: system.balance(subnet, alice.address) >= 100_000, timeout=90.0
+    )
+    sink = system.create_wallet("pow-sink")
+    system.cross_send(alice, subnet, ROOTNET, sink.address, 12_345)
+    assert system.wait_for(
+        lambda: system.balance(ROOTNET, sink.address) == 12_345, timeout=240.0
+    )
+
+
+def test_checkpoints_commit_on_pow_root(system):
+    assert system.wait_for(
+        lambda: system.child_record(ROOTNET, "/root/bft")["last_ckpt_cid"] != "00" * 32,
+        timeout=90.0,
+    )
+
+
+def test_supply_invariants_on_pow_root(system):
+    system.run_for(10.0)
+    audit = audit_system(system)
+    assert audit.ok, audit.violations

@@ -1,0 +1,95 @@
+"""End-to-end integration: spawn a subnet, fund it, send value back up."""
+
+import pytest
+
+from repro.hierarchy import (
+    ROOTNET,
+    HierarchicalSystem,
+    SubnetConfig,
+    audit_system,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    system = HierarchicalSystem(
+        seed=7,
+        root_validators=3,
+        root_block_time=0.5,
+        checkpoint_period=6,
+        wallet_funds={"alice": 1_000_000, "bob": 1_000_000},
+    ).start()
+    system.spawn_subnet(
+        SubnetConfig(name="fast", validators=3, engine="poa", block_time=0.25,
+                     checkpoint_period=6)
+    )
+    yield system
+
+
+def test_subnet_spawns_and_produces_blocks(system):
+    sub = ROOTNET.child("fast")
+    assert sub in system.nodes_by_subnet
+    height_before = system.node(sub).head().height
+    system.run_for(5.0)
+    assert system.node(sub).head().height > height_before
+
+
+def test_child_record_active_with_collateral(system):
+    record = system.child_record(ROOTNET, "/root/fast")
+    assert record["status"] == "active"
+    assert record["collateral"] == 300  # 3 validators x 100 stake
+
+
+def test_topdown_fund_arrives(system):
+    sub = ROOTNET.child("fast")
+    alice = system.wallets["alice"]
+    system.fund_subnet(alice, sub, alice.address, 50_000)
+    ok = system.wait_for(
+        lambda: system.balance(sub, alice.address) >= 50_000, timeout=30.0
+    )
+    assert ok, "top-down funds never arrived in the subnet"
+
+
+def test_intra_subnet_payment(system):
+    sub = ROOTNET.child("fast")
+    alice, bob = system.wallets["alice"], system.wallets["bob"]
+    before = system.balance(sub, bob.address)
+    system.transfer(alice, sub, bob.address, 1_000)
+    ok = system.wait_for(
+        lambda: system.balance(sub, bob.address) == before + 1_000, timeout=15.0
+    )
+    assert ok
+
+
+def test_bottomup_release_arrives(system):
+    sub = ROOTNET.child("fast")
+    bob = system.wallets["bob"]
+    carol = system.create_wallet("carol")
+    system.cross_send(bob, sub, ROOTNET, carol.address, 700)
+    ok = system.wait_for(
+        lambda: system.balance(ROOTNET, carol.address) == 700, timeout=60.0
+    )
+    assert ok, "bottom-up release never arrived on the rootnet"
+
+
+def test_checkpoints_committed_on_parent(system):
+    record = system.child_record(ROOTNET, "/root/fast")
+    assert record["last_ckpt_cid"] != "00" * 32
+
+
+def test_supply_invariants_hold(system):
+    system.run_for(10.0)
+    audit = audit_system(system)
+    assert audit.ok, audit.violations
+
+
+def test_all_subnet_nodes_converge(system):
+    sub = ROOTNET.child("fast")
+    system.run_for(3.0)
+    heights = [node.head().height for node in system.nodes(sub)]
+    assert max(heights) - min(heights) <= 2
+    cids = {
+        node.store.block_at_height(min(heights) - 1).cid
+        for node in system.nodes(sub)
+    }
+    assert len(cids) == 1

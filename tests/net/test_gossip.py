@@ -1,0 +1,138 @@
+"""Unit tests for the gossip pubsub fabric."""
+
+from repro.net.gossip import GossipNetwork, GossipParams
+from repro.net.topology import Topology, UniformLatency
+from repro.net.transport import Transport
+from repro.sim.scheduler import Simulator
+
+
+def make_network(n_peers, seed=1, loss_rate=0.0, params=None):
+    sim = Simulator(seed=seed)
+    topology = Topology(UniformLatency(base=0.02, jitter=0.01), loss_rate=loss_rate)
+    network = GossipNetwork(sim, Transport(sim, topology), params)
+    inboxes = {f"p{i}": [] for i in range(n_peers)}
+    for peer, inbox in inboxes.items():
+        network.subscribe(peer, "topic", inbox.append)
+    return sim, network, inboxes
+
+
+def test_publish_reaches_all_subscribers():
+    sim, network, inboxes = make_network(10)
+    network.publish("p0", "topic", "hello")
+    sim.run_until(2.0)
+    for peer, inbox in inboxes.items():
+        assert [e.data for e in inbox] == ["hello"], f"{peer} missed the message"
+
+
+def test_messages_not_duplicated():
+    sim, network, inboxes = make_network(8)
+    for i in range(5):
+        network.publish("p0", "topic", f"m{i}")
+    sim.run_until(3.0)
+    for inbox in inboxes.values():
+        assert sorted(e.data for e in inbox) == [f"m{i}" for i in range(5)]
+
+
+def test_publisher_receives_own_message():
+    sim, network, inboxes = make_network(3)
+    network.publish("p1", "topic", "self")
+    sim.run_until(1.0)
+    assert [e.data for e in inboxes["p1"]] == ["self"]
+
+
+def test_non_subscriber_can_publish():
+    sim, network, inboxes = make_network(5)
+    network.add_peer("outsider")
+    network.publish("outsider", "topic", "from-outside")
+    sim.run_until(2.0)
+    for inbox in inboxes.values():
+        assert [e.data for e in inbox] == ["from-outside"]
+
+
+def test_unsubscribed_peer_stops_receiving():
+    sim, network, inboxes = make_network(5)
+    network.unsubscribe("p3", "topic")
+    network.publish("p0", "topic", "after-leave")
+    sim.run_until(2.0)
+    assert inboxes["p3"] == []
+    assert [e.data for e in inboxes["p4"]] == ["after-leave"]
+
+
+def test_topics_are_isolated():
+    sim = Simulator(seed=2)
+    network = GossipNetwork(sim, Transport(sim, Topology()))
+    inbox_a, inbox_b = [], []
+    network.subscribe("x", "topic-a", inbox_a.append)
+    network.subscribe("x", "topic-b", inbox_b.append)
+    network.subscribe("y", "topic-a", lambda e: None)
+    network.subscribe("y", "topic-b", lambda e: None)
+    network.publish("y", "topic-a", "only-a")
+    sim.run_until(1.0)
+    assert [e.data for e in inbox_a] == ["only-a"]
+    assert inbox_b == []
+
+
+def test_lazy_gossip_heals_loss():
+    """With heavy loss, heartbeat IHAVE/IWANT still propagates the message."""
+    sim, network, inboxes = make_network(
+        12, seed=5, loss_rate=0.35, params=GossipParams(degree=3, lazy_degree=4)
+    )
+    network.publish("p0", "topic", "resilient")
+    sim.run_until(30.0)
+    got = sum(1 for inbox in inboxes.values() if any(e.data == "resilient" for e in inbox))
+    assert got == 12
+
+
+def test_mesh_is_symmetric_and_bounded():
+    _, network, _ = make_network(20, params=GossipParams(degree=4))
+    for peer_id, state in network._peers.items():
+        for neighbour in state.mesh.get("topic", set()):
+            assert peer_id in network._peers[neighbour].mesh["topic"]
+
+
+def test_envelope_metadata():
+    sim, network, inboxes = make_network(3)
+    msg_id = network.publish("p0", "topic", "meta")
+    sim.run_until(1.0)
+    envelope = inboxes["p1"][0]
+    assert envelope.msg_id == msg_id
+    assert envelope.publisher == "p0"
+    assert envelope.topic == "topic"
+    assert envelope.published_at == 0.0
+
+
+def test_remove_peer_cleans_up():
+    sim, network, inboxes = make_network(5)
+    network.remove_peer("p2")
+    network.publish("p0", "topic", "post-removal")
+    sim.run_until(2.0)
+    assert inboxes["p2"] == []
+    assert "p2" not in network.subscribers("topic")
+
+
+def test_two_peer_topic():
+    sim, network, inboxes = make_network(2)
+    network.publish("p0", "topic", "pair")
+    sim.run_until(1.0)
+    assert [e.data for e in inboxes["p1"]] == ["pair"]
+
+
+def test_deterministic_gossip_run():
+    def run():
+        sim, network, inboxes = make_network(10, seed=77)
+        for i in range(3):
+            network.publish(f"p{i}", "topic", f"m{i}")
+        sim.run_until(5.0)
+        return sim.trace.digest(), {
+            p: sorted(e.data for e in inbox) for p, inbox in inboxes.items()
+        }
+
+    assert run() == run()
+
+
+def test_shutdown_stops_heartbeat():
+    sim, network, _ = make_network(4)
+    network.shutdown()
+    sim.run_until(10.0)
+    # After shutdown and queue drain, no recurring heartbeat remains.
+    assert sim.queue.peek_time() is None

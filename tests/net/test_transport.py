@@ -1,0 +1,160 @@
+"""Unit tests for topology and transport."""
+
+import pytest
+
+from repro.net.topology import RegionLatency, Topology, UniformLatency
+from repro.net.transport import Transport
+from repro.sim.scheduler import Simulator
+
+
+def make_transport(seed=1, **topology_kwargs):
+    sim = Simulator(seed=seed)
+    transport = Transport(sim, Topology(**topology_kwargs))
+    return sim, transport
+
+
+def test_send_delivers_after_latency():
+    sim, transport = make_transport()
+    received = []
+    transport.register("a", lambda m: None)
+    transport.register("b", lambda m: received.append((sim.now, m.payload)))
+    assert transport.send("a", "b", "test", "hello")
+    sim.run()
+    assert len(received) == 1
+    time, payload = received[0]
+    assert payload == "hello"
+    assert time > 0
+
+
+def test_send_to_unknown_peer_fails():
+    _, transport = make_transport()
+    transport.register("a", lambda m: None)
+    assert not transport.send("a", "ghost", "test", "x")
+
+
+def test_duplicate_registration_rejected():
+    _, transport = make_transport()
+    transport.register("a", lambda m: None)
+    with pytest.raises(ValueError):
+        transport.register("a", lambda m: None)
+
+
+def test_unregister_then_reregister():
+    _, transport = make_transport()
+    transport.register("a", lambda m: None)
+    transport.unregister("a")
+    transport.register("a", lambda m: None)
+    assert transport.is_registered("a")
+
+
+def test_partition_blocks_send():
+    sim, transport = make_transport()
+    received = []
+    transport.register("a", lambda m: None)
+    transport.register("b", lambda m: received.append(m))
+    handle = transport.topology.partition({"a"})
+    assert not transport.send("a", "b", "test", "x")
+    transport.topology.heal(handle)
+    assert transport.send("a", "b", "test", "x")
+    sim.run()
+    assert len(received) == 1
+
+
+def test_partition_allows_intra_group_traffic():
+    sim, transport = make_transport()
+    received = []
+    transport.register("a", lambda m: None)
+    transport.register("b", lambda m: received.append(m))
+    transport.topology.partition({"a", "b"})
+    assert transport.send("a", "b", "test", "x")
+    sim.run()
+    assert len(received) == 1
+
+
+def test_heal_all():
+    _, transport = make_transport()
+    transport.register("a", lambda m: None)
+    transport.register("b", lambda m: None)
+    transport.topology.partition({"a"})
+    transport.topology.partition({"b"})
+    transport.topology.heal_all()
+    assert transport.send("a", "b", "t", "x")
+
+
+def test_loss_rate_drops_messages():
+    sim, transport = make_transport(loss_rate=0.5)
+    delivered = []
+    transport.register("a", lambda m: None)
+    transport.register("b", lambda m: delivered.append(m))
+    sent = sum(1 for _ in range(200) if transport.send("a", "b", "t", "x"))
+    sim.run()
+    assert sent < 200  # some dropped at send
+    assert len(delivered) == sent  # the rest all arrive
+
+
+def test_invalid_loss_rate():
+    with pytest.raises(ValueError):
+        Topology(loss_rate=1.0)
+
+
+def test_uniform_latency_bounds():
+    import random
+
+    model = UniformLatency(base=0.1, jitter=0.05)
+    rng = random.Random(0)
+    samples = [model.sample("a", "b", rng) for _ in range(100)]
+    assert all(0.05 <= s <= 0.15 for s in samples)
+
+
+def test_uniform_latency_zero_jitter_is_constant():
+    import random
+
+    model = UniformLatency(base=0.1, jitter=0.0)
+    assert model.sample("a", "b", random.Random(0)) == 0.1
+
+
+def test_uniform_latency_rejects_negative():
+    with pytest.raises(ValueError):
+        UniformLatency(base=0.01, jitter=0.05)
+
+
+def test_region_latency_matrix():
+    import random
+
+    model = RegionLatency(
+        regions={"a": "us", "b": "us", "c": "eu"},
+        matrix={("us", "us"): 0.01, ("eu", "us"): 0.1},
+        jitter_fraction=0.0,
+    )
+    rng = random.Random(0)
+    assert model.sample("a", "b", rng) == 0.01
+    assert model.sample("a", "c", rng) == 0.1
+    assert model.sample("c", "a", rng) == 0.1  # symmetric
+    # Unknown pair falls back to the default.
+    model.regions["d"] = "asia"
+    assert model.sample("a", "d", rng) == model.default
+
+
+def test_metrics_are_recorded():
+    sim, transport = make_transport()
+    transport.register("a", lambda m: None)
+    transport.register("b", lambda m: None)
+    transport.send("a", "b", "t", "x")
+    sim.run()
+    assert sim.metrics.counter("net.sent").value == 1
+    assert sim.metrics.counter("net.delivered").value == 1
+    assert sim.metrics.histogram("net.latency").count == 1
+
+
+def test_deterministic_delivery_times():
+    def run():
+        sim, transport = make_transport(seed=42)
+        arrivals = []
+        transport.register("a", lambda m: None)
+        transport.register("b", lambda m: arrivals.append(sim.now))
+        for _ in range(10):
+            transport.send("a", "b", "t", "x")
+        sim.run()
+        return arrivals
+
+    assert run() == run()

@@ -1,0 +1,109 @@
+"""Unit tests for metrics."""
+
+import math
+
+import pytest
+
+from repro.sim.metrics import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
+
+
+def test_counter_increments():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        Counter("c").inc(-1)
+
+
+def test_gauge_set_and_add():
+    gauge = Gauge("g")
+    gauge.set(10.0)
+    gauge.add(-3.0)
+    assert gauge.value == 7.0
+
+
+def test_histogram_summary_statistics():
+    histogram = Histogram("h")
+    histogram.observe_many(range(1, 101))
+    assert histogram.count == 100
+    assert histogram.mean() == pytest.approx(50.5)
+    assert histogram.percentile(50) == pytest.approx(50.5)
+    assert histogram.min() == 1
+    assert histogram.max() == 100
+
+
+def test_histogram_percentile_interpolates():
+    histogram = Histogram("h")
+    histogram.observe_many([0.0, 10.0])
+    assert histogram.percentile(25) == pytest.approx(2.5)
+
+
+def test_histogram_empty_is_nan():
+    histogram = Histogram("h")
+    assert math.isnan(histogram.mean())
+    assert math.isnan(histogram.percentile(50))
+
+
+def test_histogram_percentile_bounds():
+    histogram = Histogram("h")
+    histogram.observe(1.0)
+    with pytest.raises(ValueError):
+        histogram.percentile(101)
+
+
+def test_histogram_stdev():
+    histogram = Histogram("h")
+    histogram.observe_many([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+    assert histogram.stdev() == pytest.approx(2.138, abs=1e-3)
+    single = Histogram("s")
+    single.observe(1.0)
+    assert single.stdev() == 0.0
+
+
+def test_timeseries_rate():
+    series = TimeSeries("t")
+    for t in range(11):
+        series.record(float(t), 1.0)
+    assert series.rate() == pytest.approx(11 / 10)
+    assert series.rate(window=(0.0, 5.0)) == pytest.approx(6 / 5)
+
+
+def test_timeseries_rate_degenerate():
+    series = TimeSeries("t")
+    assert series.rate() == 0.0
+    series.record(1.0, 1.0)
+    assert series.rate() == 0.0
+
+
+def test_registry_reuses_instances():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.histogram("b") is registry.histogram("b")
+    assert registry.gauge("c") is registry.gauge("c")
+    assert registry.timeseries("d") is registry.timeseries("d")
+
+
+def test_registry_mark_uses_clock():
+    time = {"now": 0.0}
+    registry = MetricsRegistry(clock=lambda: time["now"])
+    registry.mark("events")
+    time["now"] = 2.0
+    registry.mark("events")
+    assert registry.timeseries("events").times() == [0.0, 2.0]
+
+
+def test_registry_snapshot_shape():
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    registry.gauge("g").set(1.0)
+    registry.histogram("h").observe(1.0)
+    registry.mark("s")
+    snapshot = registry.snapshot()
+    assert snapshot["counters"] == {"c": 1}
+    assert snapshot["gauges"] == {"g": 1.0}
+    assert snapshot["histograms"]["h"]["count"] == 1
+    assert snapshot["series"] == {"s": 1}

@@ -1,0 +1,72 @@
+"""Unit tests for the trace log."""
+
+from repro.sim.scheduler import Simulator
+from repro.sim.tracing import TraceLog
+
+
+def test_emit_records_time_and_details():
+    time = {"now": 1.25}
+    log = TraceLog(clock=lambda: time["now"])
+    log.emit("block", "subnet-a", "height=3")
+    assert len(log) == 1
+    record = log.records[0]
+    assert record.time == 1.25
+    assert record.kind == "block"
+    assert record.subject == "subnet-a"
+    assert record.detail == ("height=3",)
+
+
+def test_filter_by_kind_and_subject():
+    log = TraceLog()
+    log.emit("a", "x")
+    log.emit("a", "y")
+    log.emit("b", "x")
+    assert len(list(log.filter(kind="a"))) == 2
+    assert len(list(log.filter(subject="x"))) == 2
+    assert len(list(log.filter(kind="a", subject="x"))) == 1
+    assert log.count("b") == 1
+
+
+def test_digest_changes_with_content():
+    log_a = TraceLog()
+    log_a.emit("k", "s", 1)
+    log_b = TraceLog()
+    log_b.emit("k", "s", 2)
+    assert log_a.digest() != log_b.digest()
+
+
+def test_digest_equal_for_equal_logs():
+    log_a = TraceLog()
+    log_b = TraceLog()
+    for log in (log_a, log_b):
+        log.emit("k", "s", "same")
+    assert log_a.digest() == log_b.digest()
+
+
+def test_capacity_limits_records():
+    log = TraceLog(capacity=2)
+    for i in range(5):
+        log.emit("k", "s", i)
+    assert len(log) == 2
+
+
+def test_disabled_log_drops_records():
+    log = TraceLog()
+    log.enabled = False
+    log.emit("k", "s")
+    assert len(log) == 0
+
+
+def test_identical_simulations_have_identical_digests():
+    def run():
+        sim = Simulator(seed=99)
+        rng = sim.rng("worker")
+
+        def tick():
+            sim.trace.emit("tick", "worker", round(rng.random(), 9))
+
+        sim.every(0.5, tick)
+        sim.run_until(5.0)
+        return sim.trace.digest()
+
+    assert run() == run()

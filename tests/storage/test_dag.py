@@ -1,0 +1,82 @@
+"""Unit tests for the DAG store."""
+
+import pytest
+
+from repro.crypto.cid import cid_of
+from repro.storage.dag import DagNode, DagStore
+
+
+def build_chain(store, depth):
+    """Build a linked list DAG of the given depth; return the root CID."""
+    cid = store.put("leaf")
+    for level in range(depth):
+        cid = store.put(f"level-{level}", links=[cid])
+    return cid
+
+
+def test_put_get_roundtrip():
+    store = DagStore()
+    cid = store.put("value")
+    node = store.get(cid)
+    assert node.value == "value"
+    assert node.links == ()
+
+
+def test_get_non_dag_value_is_type_error():
+    store = DagStore()
+    cid = store.blocks.put("raw, not a DagNode")
+    with pytest.raises(TypeError):
+        store.get(cid)
+
+
+def test_walk_traverses_all_reachable():
+    store = DagStore()
+    leaf_a = store.put("a")
+    leaf_b = store.put("b")
+    root = store.put("root", links=[leaf_a, leaf_b])
+    visited = {cid for cid, _ in store.walk(root)}
+    assert visited == {root, leaf_a, leaf_b}
+
+
+def test_walk_handles_shared_subgraphs():
+    store = DagStore()
+    shared = store.put("shared")
+    mid_a = store.put("a", links=[shared])
+    mid_b = store.put("b", links=[shared])
+    root = store.put("root", links=[mid_a, mid_b])
+    visited = [cid for cid, _ in store.walk(root)]
+    assert len(visited) == 4  # shared visited once
+
+
+def test_extract_and_ingest_transfer_a_dag():
+    source = DagStore()
+    root = build_chain(source, depth=5)
+    bundle = source.extract(root)
+
+    target = DagStore()
+    assert not target.can_resolve(root)
+    target.ingest(bundle)
+    assert target.can_resolve(root)
+    assert {c for c, _ in target.walk(root)} == set(bundle)
+
+
+def test_ingest_rejects_mismatched_cid():
+    store = DagStore()
+    node = DagNode(value="genuine")
+    with pytest.raises(ValueError):
+        store.ingest({cid_of("a lie"): node})
+
+
+def test_can_resolve_false_on_missing_link():
+    store = DagStore()
+    missing = cid_of(DagNode(value="never stored"))
+    root = store.put("root", links=[missing])
+    assert not store.can_resolve(root)
+
+
+def test_walk_missing_link_raises():
+    store = DagStore()
+    missing = cid_of(DagNode(value="nope"))
+    root = store.put("root", links=[missing])
+    with pytest.raises(KeyError):
+        list(store.walk(root))

@@ -1,0 +1,181 @@
+"""Unit and property tests for the versioned state tree."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.statetree import StateTree
+
+
+def test_basic_set_get():
+    tree = StateTree()
+    tree.set("a", 1)
+    assert tree.get("a") == 1
+    assert tree.get("missing", "d") == "d"
+    assert tree.has("a")
+    assert not tree.has("missing")
+
+
+def test_delete_hides_value():
+    tree = StateTree()
+    tree.set("a", 1)
+    tree.delete("a")
+    assert not tree.has("a")
+    assert tree.get("a") is None
+
+
+def test_snapshot_revert_discards_writes():
+    tree = StateTree()
+    tree.set("a", 1)
+    token = tree.snapshot()
+    tree.set("a", 2)
+    tree.set("b", 3)
+    tree.revert(token)
+    assert tree.get("a") == 1
+    assert not tree.has("b")
+
+
+def test_snapshot_commit_keeps_writes():
+    tree = StateTree()
+    tree.set("a", 1)
+    token = tree.snapshot()
+    tree.set("a", 2)
+    tree.commit(token)
+    assert tree.get("a") == 2
+    assert tree.depth == 0
+
+
+def test_nested_snapshots():
+    tree = StateTree()
+    tree.set("x", 0)
+    outer = tree.snapshot()
+    tree.set("x", 1)
+    inner = tree.snapshot()
+    tree.set("x", 2)
+    tree.revert(inner)
+    assert tree.get("x") == 1
+    tree.commit(outer)
+    assert tree.get("x") == 1
+
+
+def test_delete_inside_reverted_snapshot_restores():
+    tree = StateTree()
+    tree.set("a", 1)
+    token = tree.snapshot()
+    tree.delete("a")
+    assert not tree.has("a")
+    tree.revert(token)
+    assert tree.get("a") == 1
+
+
+def test_delete_inside_committed_snapshot_persists():
+    tree = StateTree()
+    tree.set("a", 1)
+    token = tree.snapshot()
+    tree.delete("a")
+    tree.commit(token)
+    assert not tree.has("a")
+    assert "a" not in tree.flatten()
+
+
+def test_token_mismatch_detected():
+    tree = StateTree()
+    tree.snapshot()
+    with pytest.raises(RuntimeError):
+        tree.commit(99)
+
+
+def test_close_without_snapshot_is_error():
+    tree = StateTree()
+    with pytest.raises(RuntimeError):
+        tree.revert()
+    with pytest.raises(RuntimeError):
+        tree.commit()
+
+
+def test_keys_and_items_are_sorted_and_live():
+    tree = StateTree()
+    tree.set("b", 2)
+    tree.set("a", 1)
+    tree.set("c", 3)
+    tree.delete("c")
+    assert list(tree.keys()) == ["a", "b"]
+    assert list(tree.items()) == [("a", 1), ("b", 2)]
+    assert list(tree.keys(prefix="a")) == ["a"]
+
+
+def test_root_commitment_tracks_state():
+    tree = StateTree()
+    tree.set("a", 1)
+    root_before = tree.root()
+    tree.set("b", 2)
+    assert tree.root() != root_before
+    tree.delete("b")
+    assert tree.root() == root_before
+
+
+def test_root_ignores_snapshot_layering():
+    flat = StateTree()
+    flat.set("a", 1)
+    flat.set("b", 2)
+
+    layered = StateTree()
+    layered.set("a", 0)
+    layered.snapshot()
+    layered.set("a", 1)
+    layered.set("b", 2)
+    assert layered.root() == flat.root()
+
+
+def test_copy_is_independent():
+    tree = StateTree()
+    tree.set("a", 1)
+    clone = tree.copy()
+    clone.set("a", 2)
+    assert tree.get("a") == 1
+    assert clone.get("a") == 2
+
+
+def test_copy_flattens_snapshots():
+    tree = StateTree()
+    tree.set("a", 1)
+    tree.snapshot()
+    tree.set("b", 2)
+    clone = tree.copy()
+    assert clone.depth == 0
+    assert clone.get("b") == 2
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["set", "delete", "snapshot", "commit", "revert"]),
+            st.sampled_from(["k1", "k2", "k3"]),
+            st.integers(min_value=0, max_value=99),
+        ),
+        max_size=40,
+    )
+)
+def test_layered_tree_matches_plain_dict_model(operations):
+    """The tree must behave exactly like a dict with an undo stack."""
+    tree = StateTree()
+    model_stack = [{}]
+    for op, key, value in operations:
+        if op == "set":
+            tree.set(key, value)
+            model_stack[-1][key] = value
+        elif op == "delete":
+            tree.delete(key)
+            model_stack[-1][key] = None  # tombstone in the model
+        elif op == "snapshot":
+            tree.snapshot()
+            model_stack.append(dict(model_stack[-1]))
+        elif op == "commit" and len(model_stack) > 1:
+            tree.commit()
+            top = model_stack.pop()
+            model_stack[-1] = top
+        elif op == "revert" and len(model_stack) > 1:
+            tree.revert()
+            model_stack.pop()
+        model = {k: v for k, v in model_stack[-1].items() if v is not None}
+        assert tree.flatten() == model

@@ -1,0 +1,85 @@
+"""Tests for workload generators and analysis helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis import Table, mean, percentile, stdev, summarize
+from repro.baselines import SingleChainBaseline
+from repro.hierarchy import ROOTNET, HierarchicalSystem, SubnetConfig
+from repro.workloads import CrossNetWorkload, PaymentWorkload, sender_fund_spec
+
+
+def test_payment_workload_measures_latency():
+    funds = sender_fund_spec(3, scope="wl1")
+    baseline = SingleChainBaseline(seed=21, validators=3, block_time=0.5,
+                                   wallet_funds=funds).start()
+    senders = [baseline.wallets[n] for n in funds]
+    workload = PaymentWorkload(baseline.sim, baseline.nodes, senders, rate=10.0).start()
+    baseline.run_for(15.0)
+    workload.stop()
+    stats = workload.stats
+    assert stats.submitted >= 140
+    assert stats.committed > 0.8 * stats.submitted
+    # Latency at most a few block times under light load.
+    assert 0 < stats.latency_percentile(50) < 3 * 0.5 + 1.0
+
+
+def test_payment_workload_rejects_bad_rate():
+    funds = sender_fund_spec(1, scope="wl2")
+    baseline = SingleChainBaseline(seed=23, wallet_funds=funds)
+    with pytest.raises(ValueError):
+        PaymentWorkload(baseline.sim, baseline.nodes, [], rate=0.0)
+
+
+def test_crossnet_workload_end_to_end():
+    system = HierarchicalSystem(
+        seed=25, root_validators=3, root_block_time=0.5, checkpoint_period=5,
+        wallet_funds={"alice": 10_000_000},
+    ).start()
+    sub = system.spawn_subnet(
+        SubnetConfig(name="wl", validators=3, block_time=0.25, checkpoint_period=5)
+    )
+    alice = system.wallets["alice"]
+    workload = CrossNetWorkload(
+        system, from_subnet=ROOTNET, to_subnet=sub, sender=alice, rate=2.0, value=10
+    ).start()
+    system.run_for(30.0)
+    workload.stop()
+    system.run_for(10.0)
+    stats = workload.stats
+    assert stats.submitted >= 55
+    assert stats.committed > 0
+    assert stats.latency_percentile(50) > 0
+
+
+def test_stats_helpers():
+    values = list(range(1, 101))
+    assert mean(values) == pytest.approx(50.5)
+    assert percentile(values, 50) == pytest.approx(50.5)
+    assert percentile(values, 0) == 1
+    assert percentile(values, 100) == 100
+    assert stdev([1.0, 1.0, 1.0]) == 0.0
+    assert math.isnan(mean([]))
+    with pytest.raises(ValueError):
+        percentile(values, 101)
+    summary = summarize(values)
+    assert summary["count"] == 100 and summary["max"] == 100
+
+
+def test_table_renders():
+    table = Table("demo", ["a", "b"])
+    table.add_row(1, 2.5)
+    table.add_row("long-value", float("nan"))
+    text = table.render()
+    assert "demo" in text and "long-value" in text and "-" in text
+    with pytest.raises(ValueError):
+        table.add_row(1)
+
+
+def test_workload_stats_empty_latency_is_nan():
+    from repro.workloads import WorkloadStats
+
+    stats = WorkloadStats()
+    assert math.isnan(stats.latency_percentile(50))
+    assert stats.throughput(0) == 0.0
