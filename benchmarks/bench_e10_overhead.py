@@ -11,10 +11,9 @@ parent checkpoint-tx rate falls ≈1/period.
 
 import pytest
 
-from repro.analysis import Table
 from repro.hierarchy import ROOTNET
 
-from common import build_hierarchy, run_once
+from common import build_hierarchy, run_once, show_table
 
 BLOCK_TIME = 0.25
 PERIODS = (4, 8, 16, 32)
@@ -70,15 +69,16 @@ def test_e10_checkpoint_period_tradeoff(benchmark):
 
     rows = run_once(benchmark, experiment)
 
-    table = Table(
+    show_table(
         "E10 — checkpoint period sweep: bottom-up latency vs parent load",
         ["period (blocks)", "window (s)", "bottom-up p50 (s)", "max (s)",
          "checkpoint txs/min on parent"],
+        [
+            (row["period"], row["window_s"], row["latency_p50"],
+             row["latency_max"], row["ckpt_tx_per_min"])
+            for row in rows
+        ],
     )
-    for row in rows:
-        table.add_row(row["period"], row["window_s"], row["latency_p50"],
-                      row["latency_max"], row["ckpt_tx_per_min"])
-    table.show()
 
     by = {row["period"]: row for row in rows}
     # Latency grows with the period…

@@ -16,10 +16,9 @@ period, so acceleration's advantage widens with slower checkpointing.
 
 import pytest
 
-from repro.analysis import Table
 from repro.hierarchy import ROOTNET, HierarchicalSystem, SubnetConfig
 
-from common import run_once
+from common import run_once, show_table
 
 BLOCK_TIME = 0.25
 PERIODS = (8, 16, 32)
@@ -70,19 +69,18 @@ def test_e11_accelerated_crossmsgs(benchmark):
 
     rows = run_once(benchmark, experiment)
 
-    table = Table(
+    show_table(
         "E11 — pending-payment certificate vs checkpoint settlement "
         f"(mean over {N_TRANSFERS} transfers)",
         ["checkpoint period", "window (s)", "certificate visible (s)",
          "settled (s)", "speedup"],
+        [
+            (row["period"], row["period"] * BLOCK_TIME,
+             row["cert_mean"], row["settle_mean"],
+             row["settle_mean"] / row["cert_mean"])
+            for row in rows
+        ],
     )
-    for row in rows:
-        table.add_row(
-            row["period"], row["period"] * BLOCK_TIME,
-            row["cert_mean"], row["settle_mean"],
-            row["settle_mean"] / row["cert_mean"],
-        )
-    table.show()
 
     for row in rows:
         assert row["cert_mean"] == row["cert_mean"], "certificates never arrived"

@@ -11,11 +11,18 @@ single chain stays flat; sharding tracks HC minus reshuffle overhead.
 
 import pytest
 
-from repro.analysis import Table
 from repro.baselines import ShardedBaseline, SingleChainBaseline
 from repro.workloads import PaymentWorkload, sender_fund_spec
 
-from common import build_hierarchy, fund_subnet_senders, run_once, start_subnet_payments
+from common import (
+    DISPATCH_COLUMNS,
+    build_hierarchy,
+    dispatch_rows,
+    fund_subnet_senders,
+    run_once,
+    show_table,
+    start_subnet_payments,
+)
 
 MEASURE_SECONDS = 40.0
 BLOCK_TIME = 0.5
@@ -24,7 +31,7 @@ PER_CHAIN_LOAD = 60.0  # offered tx/s per chain: saturating
 SUBNET_COUNTS = (1, 2, 4, 8)
 
 
-def _hierarchical_throughput(k: int) -> float:
+def _hierarchical_throughput(k: int):
     system, subnets = build_hierarchy(
         seed=100 + k,
         n_subnets=k,
@@ -39,7 +46,7 @@ def _hierarchical_throughput(k: int) -> float:
     start = system.sim.now
     system.run_for(MEASURE_SECONDS)
     committed = sum(w.stats.committed for w in workloads)
-    return committed / (system.sim.now - start)
+    return committed / (system.sim.now - start), dispatch_rows(system.sim)
 
 
 def _single_chain_throughput(offered: float) -> float:
@@ -80,28 +87,40 @@ def _sharded_throughput(k: int) -> float:
 def test_e1_horizontal_scaling(benchmark):
     def experiment():
         rows = []
+        dispatch = None
         single = _single_chain_throughput(PER_CHAIN_LOAD * max(SUBNET_COUNTS))
         for k in SUBNET_COUNTS:
+            hierarchical, dispatch = _hierarchical_throughput(k)
             rows.append(
                 {
                     "subnets": k,
-                    "hierarchical": _hierarchical_throughput(k),
+                    "hierarchical": hierarchical,
                     "single_chain": single,
                     "sharded": _sharded_throughput(k),
                 }
             )
-        return rows
+        return rows, dispatch
 
-    rows = run_once(benchmark, experiment)
+    rows, dispatch = run_once(benchmark, experiment)
 
-    table = Table(
+    show_table(
         "E1 — throughput (tx/s) vs number of subnets "
         f"(capacity {BLOCK_CAPACITY} msg / {BLOCK_TIME}s block per chain)",
         ["subnets", "hierarchical", "single chain", "sharded (reshuffling)"],
+        [
+            (row["subnets"], row["hierarchical"], row["single_chain"], row["sharded"])
+            for row in rows
+        ],
     )
-    for row in rows:
-        table.add_row(row["subnets"], row["hierarchical"], row["single_chain"], row["sharded"])
-    table.show()
+    # Per-event-label dispatch profile of the largest hierarchical run —
+    # the instrumented bus must have observed the whole event flow.
+    show_table(
+        f"E1 — dispatch profile (k={max(SUBNET_COUNTS)} hierarchical run)",
+        DISPATCH_COLUMNS,
+        dispatch,
+    )
+    assert dispatch, "dispatch bus recorded no events"
+    assert all(events > 0 for _, events, *_ in dispatch)
 
     by_k = {row["subnets"]: row for row in rows}
     capacity = BLOCK_CAPACITY / BLOCK_TIME

@@ -16,10 +16,9 @@ constant signature/commit/application tail.
 
 import pytest
 
-from repro.analysis import Table
 from repro.hierarchy import ROOTNET, SCA_ADDRESS
 
-from common import build_hierarchy, fund_subnet_senders, run_once
+from common import build_hierarchy, fund_subnet_senders, run_once, show_table
 
 BLOCK_TIME = 0.25
 PERIOD = 16  # blocks per window -> window length 4.0s
@@ -67,14 +66,12 @@ def _measure_offsets():
 def test_e2_checkpoint_window_timing(benchmark):
     rows = run_once(benchmark, _measure_offsets)
 
-    table = Table(
+    show_table(
         f"E2 — cross-msg wait vs arrival offset in a {WINDOW_SECONDS:.1f}s "
         f"checkpoint window (period {PERIOD} blocks x {BLOCK_TIME}s)",
         ["offset (fraction)", "seal wait (s)", "end-to-end to parent (s)"],
+        [(row["offset"], row["seal_wait"], row["e2e"]) for row in rows],
     )
-    for row in rows:
-        table.add_row(row["offset"], row["seal_wait"], row["e2e"])
-    table.show()
 
     # Sawtooth: later arrivals wait less for the seal.
     seal_waits = [row["seal_wait"] for row in rows]

@@ -16,8 +16,9 @@ of its bottom-up and top-down legs.
 
 import pytest
 
-from repro.analysis import Table
 from repro.hierarchy import ROOTNET, HierarchicalSystem, SubnetConfig
+
+from common import run_once, show_table
 
 BLOCK_TIME = 0.25
 PERIOD = 8  # 2.0s windows
@@ -104,16 +105,14 @@ def _measure():
 
 @pytest.mark.benchmark(group="e3")
 def test_e3_crossmsg_latency_vs_depth(benchmark):
-    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    rows = run_once(benchmark, _measure)
 
-    table = Table(
+    show_table(
         f"E3 — cross-msg end-to-end latency vs depth "
         f"(checkpoint window {WINDOW:.1f}s, subnet block {BLOCK_TIME}s)",
         ["kind", "depth", "latency (s)"],
+        [(row["kind"], row["depth"], row["latency"]) for row in rows],
     )
-    for row in rows:
-        table.add_row(row["kind"], row["depth"], row["latency"])
-    table.show()
 
     by = {(r["kind"], r["depth"]): r["latency"] for r in rows}
     # Everything arrived.

@@ -14,10 +14,9 @@ relative to the checkpoint-dominated end-to-end time.
 
 import pytest
 
-from repro.analysis import Table
 from repro.hierarchy import ROOTNET
 
-from common import build_hierarchy, run_once
+from common import build_hierarchy, run_once, show_table
 
 BLOCK_TIME = 0.25
 PERIOD = 8
@@ -66,21 +65,22 @@ def test_e4_push_vs_pull_resolution(benchmark):
 
     results = run_once(benchmark, experiment)
 
-    table = Table(
+    show_table(
         "E4 — content resolution: push vs pull "
         f"({N_TRANSFERS} bottom-up transfers, window {BLOCK_TIME * PERIOD:.1f}s)",
         ["mode", "mean latency (s)", "max latency (s)",
          "pushes stored", "pulls sent", "pulls served", "resolves recvd"],
+        [
+            (
+                mode,
+                sum(results[mode]["latencies"]) / len(results[mode]["latencies"]),
+                max(results[mode]["latencies"]),
+                results[mode]["push_stored"], results[mode]["pull_sent"],
+                results[mode]["pull_served"], results[mode]["resolved"],
+            )
+            for mode in ("push", "pull")
+        ],
     )
-    for mode in ("push", "pull"):
-        r = results[mode]
-        table.add_row(
-            mode,
-            sum(r["latencies"]) / len(r["latencies"]),
-            max(r["latencies"]),
-            r["push_stored"], r["pull_sent"], r["pull_served"], r["resolved"],
-        )
-    table.show()
 
     push, pull = results["push"], results["pull"]
     # Push mode: destination cached pushes; essentially no pull traffic

@@ -15,9 +15,10 @@ aborts are no slower than commits.
 
 import pytest
 
-from repro.analysis import Table
 from repro.hierarchy import SCA_ADDRESS, HierarchicalSystem, SubnetConfig
 from repro.hierarchy.atomic import AtomicExecutionClient, AtomicParty, asset_owner
+
+from common import run_once, show_table
 
 BLOCK_TIME = 0.25
 PERIOD = 8
@@ -112,17 +113,17 @@ def test_e5_atomic_execution(benchmark):
         abort = _abort_path(510)
         return sweep, abort
 
-    sweep, abort = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    sweep, abort = run_once(benchmark, experiment)
 
-    table = Table(
+    show_table(
         "E5 — atomic execution (Fig. 5): time from init to lock/decision/apply",
         ["scenario", "parties", "locked (s)", "decided at LCA (s)", "applied everywhere (s)"],
+        [
+            ("commit", row["parties"], row["lock_time"],
+             row["decide_time"], row["apply_time"])
+            for row in sweep
+        ] + [("abort", 2, "-", abort["decide_time"], abort["apply_time"])],
     )
-    for row in sweep:
-        table.add_row("commit", row["parties"], row["lock_time"],
-                      row["decide_time"], row["apply_time"])
-    table.add_row("abort", 2, "-", abort["decide_time"], abort["apply_time"])
-    table.show()
 
     # Timeliness: everything decided and applied (asserts above), and the
     # decision at the LCA lands within a handful of windows.

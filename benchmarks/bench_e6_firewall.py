@@ -19,12 +19,11 @@ impact once compromised.
 
 import pytest
 
-from repro.analysis import Table
 from repro.baselines import shard_compromise_probability
 from repro.crypto.keys import KeyPair
 from repro.hierarchy import ROOTNET, CompromisedSubnet, audit_system
 
-from common import build_hierarchy, run_once
+from common import build_hierarchy, run_once, show_table
 
 INJECTED = 10_000
 CLAIM_MULTIPLIERS = (1, 10, 100, 1000)
@@ -81,23 +80,21 @@ def test_e6_firewall_vs_sharding(benchmark):
 
     hc_rows, shard_rows = run_once(benchmark, experiment)
 
-    hc_table = Table(
+    show_table(
         "E6a — HC compromised subnet: forged claim vs extracted value "
         f"(genuine circulating supply ≈ {INJECTED})",
         ["claimed value", "circulating supply", "extracted", "supply invariants hold"],
+        [
+            (row["claimed"], row["supply"], row["extracted"], row["audit_ok"])
+            for row in hc_rows
+        ],
     )
-    for row in hc_rows:
-        hc_table.add_row(row["claimed"], row["supply"], row["extracted"], row["audit_ok"])
-    hc_table.show()
-
-    shard_table = Table(
+    show_table(
         "E6b — traditional sharding: P(some shard compromised per assignment) "
         "(pool 256; compromised shard ⇒ unbounded forgery)",
         ["shards", "adversary fraction", "P(compromise)"],
+        [(row["shards"], row["adversary"], row["p_compromise"]) for row in shard_rows],
     )
-    for row in shard_rows:
-        shard_table.add_row(row["shards"], row["adversary"], row["p_compromise"])
-    shard_table.show()
 
     # HC: extraction never exceeds the circulating supply, for any claim.
     for row in hc_rows:

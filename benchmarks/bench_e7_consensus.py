@@ -16,10 +16,9 @@ import math
 
 import pytest
 
-from repro.analysis import Table
 from repro.workloads import PaymentWorkload
 
-from common import build_hierarchy, fund_subnet_senders, run_once
+from common import build_hierarchy, fund_subnet_senders, run_once, show_table
 
 BLOCK_TIME = 0.5
 MEASURE_SECONDS = 40.0
@@ -69,19 +68,18 @@ def test_e7_engine_comparison(benchmark):
 
     rows = run_once(benchmark, experiment)
 
-    table = Table(
+    show_table(
         f"E7 — consensus engines under the same workload "
         f"(4 validators, target block {BLOCK_TIME}s, 30 tx/s offered)",
         ["engine", "blocks/s", "interval mean (s)", "interval p95 (s)",
          "tx commit p50 (s)", "tx/s", "forks", "reorgs", "instant finality"],
+        [
+            (row["engine"], row["blocks_per_s"], row["interval_mean"],
+             row["interval_p95"], row["commit_latency_p50"], row["throughput"],
+             row["forks"], row["reorgs"], row["instant_finality"])
+            for row in rows
+        ],
     )
-    for row in rows:
-        table.add_row(
-            row["engine"], row["blocks_per_s"], row["interval_mean"],
-            row["interval_p95"], row["commit_latency_p50"], row["throughput"],
-            row["forks"], row["reorgs"], row["instant_finality"],
-        )
-    table.show()
 
     by = {row["engine"]: row for row in rows}
     # Slot engines hit the target interval tightly.

@@ -16,12 +16,11 @@ exactly the proven balances, once.
 
 import pytest
 
-from repro.analysis import Table
 from repro.crypto.merkle import MerkleTree
 from repro.hierarchy import ROOTNET, SCA_ADDRESS, SignaturePolicy, SubnetConfig
 from repro.hierarchy import HierarchicalSystem
 
-from common import run_once
+from common import run_once, show_table
 
 BLOCK_TIME = 0.25
 PERIOD = 4
@@ -156,19 +155,20 @@ def test_e8_lifecycle(benchmark):
 
     slashing, inactivity, recovery = run_once(benchmark, experiment)
 
-    table = Table(
+    show_table(
         "E8 — collateral lifecycle (§III-B/C)",
         ["scenario", "result"],
+        [
+            ("equivocation detected in (s)", slashing["detect_time"]),
+            ("slashed amount", slashing["slashed"]),
+            ("subnet status after slash", slashing["status_after"]),
+            ("status at exactly minCollateral", inactivity["status_at_threshold"]),
+            ("status below minCollateral", inactivity["status_after"]),
+            ("cross-net fund refused while inactive", inactivity["fund_refused"]),
+            ("funds recovered from killed subnet", recovery["recovered"]),
+            ("double-claim paid", recovery["double_paid"]),
+        ],
     )
-    table.add_row("equivocation detected in (s)", slashing["detect_time"])
-    table.add_row("slashed amount", slashing["slashed"])
-    table.add_row("subnet status after slash", slashing["status_after"])
-    table.add_row("status at exactly minCollateral", inactivity["status_at_threshold"])
-    table.add_row("status below minCollateral", inactivity["status_after"])
-    table.add_row("cross-net fund refused while inactive", inactivity["fund_refused"])
-    table.add_row("funds recovered from killed subnet", recovery["recovered"])
-    table.add_row("double-claim paid", recovery["double_paid"])
-    table.show()
 
     assert slashing["slashed"] > 0
     assert slashing["fraud_proofs"] >= 1

@@ -17,10 +17,9 @@ the pre-send values; healthy transfers unaffected.
 
 import pytest
 
-from repro.analysis import Table
 from repro.hierarchy import ROOTNET, audit_system
 
-from common import build_hierarchy, run_once
+from common import build_hierarchy, run_once, show_table
 
 BLOCK_TIME = 0.25
 PERIOD = 8
@@ -86,18 +85,20 @@ def _run():
 def test_e9_failing_crossmsgs_revert(benchmark):
     result = run_once(benchmark, _run)
 
-    table = Table(
+    show_table(
         f"E9 — {N_POISON} failing + {N_HEALTHY} healthy cross-msgs (§IV-B)",
         ["metric", "value"],
+        [
+            ("healthy transfers delivered", result["healthy_delivered"]),
+            ("poisoned value fully reverted", result["reverted"]),
+            ("revert round trip (s)", result["revert_round_trip"]),
+            ("subnet blocks during episode", result["subnet_blocks_made"]),
+            ("rootnet blocks during episode", result["root_blocks_made"]),
+            ("net circulating change from poison",
+             result["circulating_delta"] + N_HEALTHY * 50),
+            ("supply audit", result["audit_ok"]),
+        ],
     )
-    table.add_row("healthy transfers delivered", result["healthy_delivered"])
-    table.add_row("poisoned value fully reverted", result["reverted"])
-    table.add_row("revert round trip (s)", result["revert_round_trip"])
-    table.add_row("subnet blocks during episode", result["subnet_blocks_made"])
-    table.add_row("rootnet blocks during episode", result["root_blocks_made"])
-    table.add_row("net circulating change from poison", result["circulating_delta"] + N_HEALTHY * 50)
-    table.add_row("supply audit", result["audit_ok"])
-    table.show()
 
     assert result["healthy_delivered"], "healthy traffic was disturbed"
     assert result["reverted"], "poisoned value never came back"

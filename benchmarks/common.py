@@ -9,6 +9,7 @@ crossovers are — not absolute numbers, since the substrate is a simulator.
 
 from __future__ import annotations
 
+from repro.analysis import Table
 from repro.hierarchy import HierarchicalSystem, SubnetConfig
 from repro.workloads import PaymentWorkload
 
@@ -16,6 +17,42 @@ from repro.workloads import PaymentWorkload
 def run_once(benchmark, fn):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def show_table(title, columns, rows) -> Table:
+    """Build, print and return a result table — the shared emitter every
+    bench uses instead of repeating the Table/add_row/show boilerplate."""
+    table = Table(title, columns)
+    for row in rows:
+        table.add_row(*row)
+    table.show()
+    return table
+
+
+DISPATCH_COLUMNS = ("event label", "events", "wall ms", "mean µs", "max µs")
+
+
+def dispatch_rows(sim, top: int = 8) -> list[tuple]:
+    """Busiest per-label dispatch stats from the sim's instrumented bus.
+
+    Also publishes them as ``sim.dispatch.*`` gauges on ``sim.metrics`` so
+    the run's metrics snapshot carries per-event-label counts/timings.
+    """
+    sim.dispatch.publish()
+    return [
+        (
+            row["label"],
+            row["events"],
+            row["wall_s"] * 1e3,
+            row["mean_s"] * 1e6,
+            row["max_s"] * 1e6,
+        )
+        for row in sim.dispatch.summary()[:top]
+    ]
+
+
+def show_dispatch_table(sim, top: int = 8, title: str = "event-dispatch profile") -> Table:
+    return show_table(title, DISPATCH_COLUMNS, dispatch_rows(sim, top=top))
 
 
 def build_hierarchy(

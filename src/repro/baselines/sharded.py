@@ -7,7 +7,8 @@ ability of the attacker to compromise a single shard with only a fraction
 of the mining power … To circumvent them, sharding systems need to
 periodically reassign miners to shards in an unpredictable way" (§I).
 
-This baseline implements exactly that control plane over our chain layer:
+This baseline implements exactly that control plane over the shared
+:mod:`repro.runtime` stack (it owns no node or delivery code of its own):
 
 - a fixed global validator pool is *assigned* (not self-selected) to k
   shards by seeded random permutation;
@@ -23,19 +24,14 @@ This baseline implements exactly that control plane over our chain layer:
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
 from repro.crypto.keys import KeyPair
-from repro.chain.node import ChainNode
-from repro.consensus.base import ConsensusParams, Validator, ValidatorSet
+from repro.consensus.base import ConsensusParams
 from repro.hierarchy.genesis import subnet_genesis
 from repro.hierarchy.subnet_id import SubnetID
 from repro.hierarchy.wallet import Wallet
-from repro.net.gossip import GossipNetwork
-from repro.net.topology import Topology, UniformLatency
-from repro.net.transport import Transport
-from repro.sim.scheduler import Simulator
+from repro.runtime import ClusterMember, NetworkStack, NodeRuntime, ValidatorCluster
 
 
 class ShardedBaseline:
@@ -53,9 +49,9 @@ class ShardedBaseline:
         reshuffle_downtime: float = 2.0,
         wallet_funds: Optional[dict] = None,
     ) -> None:
-        self.sim = Simulator(seed=seed)
-        topology = Topology(UniformLatency(base=latency, jitter=latency / 2))
-        self.gossip = GossipNetwork(self.sim, Transport(self.sim, topology))
+        self.stack = NetworkStack(seed=seed, latency=latency)
+        self.sim = self.stack.sim
+        self.gossip = self.stack.gossip
         self.shards = shards
         self.validators_per_shard = validators_per_shard
         self.engine = engine
@@ -79,13 +75,13 @@ class ShardedBaseline:
         }
         # One genesis per shard; wallets are funded on every shard so the
         # workload generator can address any shard uniformly.
-        self.shard_nodes: list[list[ChainNode]] = []
+        self.shard_clusters: list[Optional[ValidatorCluster]] = [None] * shards
+        self.shard_nodes: list[list[NodeRuntime]] = [[] for _ in range(shards)]
         self._genesis = []
         for shard in range(shards):
             subnet = SubnetID(f"/shard{shard}")
             block, vm = subnet_genesis(subnet, allocations=allocations)
             self._genesis.append((subnet, block, vm))
-            self.shard_nodes.append([])
         self._assignment: list[list[int]] = []
         self._assign(initial=True)
         self._stop_reshuffle = self.sim.every(
@@ -107,88 +103,69 @@ class ShardedBaseline:
             self._rebuild_shard(shard)
 
     def _rebuild_shard(self, shard: int) -> None:
-        for node in self.shard_nodes[shard]:
-            node.stop()
+        old = self.shard_clusters[shard]
+        if old is not None:
+            old.stop()
         subnet, block, vm = self._genesis[shard]
-        members = self._assignment[shard]
-        validator_set = ValidatorSet(
-            Validator(
-                node_id=f"{subnet.path}#{i}",
-                address=self.pool[i].address,
-                power=1,
-            )
-            for i in members
-        )
+        # Node ids must match the validator-set ids; gossip re-subscribe
+        # replaces the stopped predecessor's handler for the same id.
+        members = [
+            ClusterMember(node_id=f"{subnet.path}#{i}", keypair=self.pool[i])
+            for i in self._assignment[shard]
+        ]
         params = ConsensusParams(engine=self.engine, block_time=self.block_time)
+        cluster = ValidatorCluster.build(
+            members,
+            subnet_id=subnet.path,
+            genesis_block=block,
+            genesis_vm=vm,
+            consensus_params=params,
+            stack=self.stack,
+        )
         # Nodes restart from the shard's current canonical chain: the new
         # assignees sync state from the leavers.  We model the handoff by
-        # rebuilding nodes from a surviving replica's chain (or genesis)
-        # after the downtime window.
-        source = self.shard_nodes[shard][0] if self.shard_nodes[shard] else None
-        new_nodes = []
-        for i in members:
-            # Node ids must match the validator-set ids; gossip re-subscribe
-            # replaces the stopped predecessor's handler for the same id.
-            node = ChainNode(
-                sim=self.sim,
-                node_id=f"{subnet.path}#{i}",
-                keypair=self.pool[i],
-                subnet_id=subnet.path,
-                genesis_block=block,
-                genesis_vm=vm,
-                gossip=self.gossip,
-                validators=validator_set,
-                consensus_params=params,
-            )
-            if source is not None:
-                for old_block in source.store.canonical_chain()[1:]:
-                    node.receive_block(old_block, final=True)
-            new_nodes.append(node)
-        self.shard_nodes[shard] = new_nodes
+        # replaying a surviving replica's chain (or genesis) after the
+        # downtime window.
+        if old is not None and old.nodes:
+            cluster.replay_chain(old.primary)
+        self.shard_clusters[shard] = cluster
+        self.shard_nodes[shard] = cluster.nodes
 
     def _reshuffle(self) -> None:
         """Periodic unpredictable reassignment, with downtime (§I)."""
         self.reshuffles += 1
         self.downtime_total += self.reshuffle_downtime * self.shards
-        for shard_nodes in self.shard_nodes:
-            for node in shard_nodes:
-                node.stop()
+        for cluster in self.shard_clusters:
+            cluster.stop()
         self._assign()
         # Shards resume after the handoff window.
         self.sim.schedule(self.reshuffle_downtime, self._resume, label="shard:resume")
 
     def _resume(self) -> None:
-        for shard_nodes in self.shard_nodes:
-            for node in shard_nodes:
-                node.start()
+        for cluster in self.shard_clusters:
+            cluster.start()
 
     # ------------------------------------------------------------------
     # Lifecycle / measurement
     # ------------------------------------------------------------------
     def start(self) -> "ShardedBaseline":
-        for shard_nodes in self.shard_nodes:
-            for node in shard_nodes:
-                node.start()
+        for cluster in self.shard_clusters:
+            cluster.start()
         return self
 
     def run_for(self, seconds: float) -> "ShardedBaseline":
-        self.sim.run_until(self.sim.now + seconds)
+        self.stack.run_for(seconds)
         return self
 
-    def node(self, shard: int) -> ChainNode:
-        return self.shard_nodes[shard][0]
+    def node(self, shard: int) -> NodeRuntime:
+        return self.shard_clusters[shard].primary
 
     def shard_for(self, sender_addr: str) -> int:
         """Deterministic account→shard placement by address hash."""
         return sum(sender_addr.encode()) % self.shards
 
     def committed_tx_count(self) -> int:
-        total = 0
-        for shard in range(self.shards):
-            total += sum(
-                len(b.messages) for b in self.node(shard).store.canonical_chain()
-            )
-        return total
+        return sum(cluster.committed_tx_count() for cluster in self.shard_clusters)
 
     def throughput(self) -> float:
         if self.sim.now == 0:

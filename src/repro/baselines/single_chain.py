@@ -5,6 +5,9 @@ and processes all the transactions in the system (like present-day
 Filecoin)" (§II).  This class runs exactly that: one validator set, one
 chain, every transaction totally ordered by it.  Its throughput ceiling is
 what hierarchical consensus scales past in E1.
+
+The node and network layers are the shared :mod:`repro.runtime` stack —
+this baseline owns no block-production or delivery code of its own.
 """
 
 from __future__ import annotations
@@ -12,15 +15,11 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.crypto.keys import KeyPair
-from repro.chain.node import ChainNode
-from repro.consensus.base import ConsensusParams, Validator, ValidatorSet
+from repro.consensus.base import ConsensusParams
 from repro.hierarchy.genesis import subnet_genesis
 from repro.hierarchy.subnet_id import ROOTNET
 from repro.hierarchy.wallet import Wallet
-from repro.net.gossip import GossipNetwork
-from repro.net.topology import Topology, UniformLatency
-from repro.net.transport import Transport
-from repro.sim.scheduler import Simulator
+from repro.runtime import NetworkStack, NodeRuntime, ValidatorCluster, cluster_members
 
 
 class SingleChainBaseline:
@@ -36,9 +35,9 @@ class SingleChainBaseline:
         max_block_messages: int = 500,
         wallet_funds: Optional[dict] = None,
     ) -> None:
-        self.sim = Simulator(seed=seed)
-        topology = Topology(UniformLatency(base=latency, jitter=latency / 2))
-        self.gossip = GossipNetwork(self.sim, Transport(self.sim, topology))
+        self.stack = NetworkStack(seed=seed, latency=latency)
+        self.sim = self.stack.sim
+        self.gossip = self.stack.gossip
         self.wallets = {
             name: Wallet(KeyPair(("baseline-wallet", name)))
             for name in (wallet_funds or {})
@@ -49,44 +48,34 @@ class SingleChainBaseline:
         }
         genesis_block, genesis_vm = subnet_genesis(ROOTNET, allocations=allocations)
         keys = [KeyPair(("baseline-validator", i)) for i in range(validators)]
-        validator_set = ValidatorSet(
-            Validator(node_id=f"base#{i}", address=keys[i].address, power=1)
-            for i in range(validators)
-        )
         params = ConsensusParams(
             engine=engine, block_time=block_time, max_block_messages=max_block_messages
         )
-        self.nodes = [
-            ChainNode(
-                sim=self.sim,
-                node_id=f"base#{i}",
-                keypair=keys[i],
-                subnet_id="/root",
-                genesis_block=genesis_block,
-                genesis_vm=genesis_vm,
-                gossip=self.gossip,
-                validators=validator_set,
-                consensus_params=params,
-            )
-            for i in range(validators)
-        ]
+        self.cluster = ValidatorCluster.build(
+            cluster_members(keys, id_prefix="base"),
+            subnet_id=ROOTNET.path,
+            genesis_block=genesis_block,
+            genesis_vm=genesis_vm,
+            consensus_params=params,
+            stack=self.stack,
+        )
+        self.nodes = self.cluster.nodes
 
     def start(self) -> "SingleChainBaseline":
-        for node in self.nodes:
-            node.start()
+        self.cluster.start()
         return self
 
     def run_for(self, seconds: float) -> "SingleChainBaseline":
-        self.sim.run_until(self.sim.now + seconds)
+        self.stack.run_for(seconds)
         return self
 
     @property
-    def node(self) -> ChainNode:
-        return self.nodes[0]
+    def node(self) -> NodeRuntime:
+        return self.cluster.primary
 
     def committed_tx_count(self) -> int:
         """User transactions on the canonical chain."""
-        return sum(len(b.messages) for b in self.node.store.canonical_chain())
+        return self.cluster.committed_tx_count()
 
     def throughput(self) -> float:
         """Committed transactions per simulated second."""

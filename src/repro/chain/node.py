@@ -1,281 +1,18 @@
-"""A single-subnet validator node.
+"""Back-compat shim: the generic validator node lives in :mod:`repro.runtime`.
 
-Owns one chain's store, VM, mempool and consensus engine, wired to the
-subnet's pubsub topic.  The hierarchy layer subclasses this with cross-net
-behaviour (cross-msg pool, checkpoint signing, parent syncing); this base
-class is also used directly by the single-chain baseline and the consensus
-unit tests.
+The single-subnet node implementation moved to
+:class:`repro.runtime.node.NodeRuntime` when the node/network stack was
+unified; ``ChainNode`` remains as an alias so existing imports and
+subclasses keep working.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
-
-from repro.crypto.cid import CID
-from repro.crypto.keys import Address, KeyPair
-from repro.chain.block import BlockHeader, FullBlock
-from repro.chain.chainstore import ChainStore
-from repro.chain.message_pool import MessagePool
-from repro.chain.validation import ValidationError, validate_block_shape
-from repro.consensus.base import ConsensusParams, ValidatorSet, make_engine
-from repro.net.gossip import GossipNetwork, PubsubEnvelope
-from repro.vm.builtin.reward import REWARD_ACTOR_ADDRESS
-from repro.vm.message import SignedMessage
-from repro.vm.vm import SYSTEM_ADDRESS, VM
+from repro.runtime.node import NodeRuntime, subnet_topic
 
 
-def subnet_topic(subnet_id: str) -> str:
-    """The pubsub topic carrying a subnet's chain traffic (§III-A)."""
-    return f"subnet:{subnet_id}"
+class ChainNode(NodeRuntime):
+    """Alias of :class:`~repro.runtime.node.NodeRuntime` (historic name)."""
 
 
-class ChainNode:
-    """A full node validating one subnet chain."""
-
-    def __init__(
-        self,
-        sim,
-        node_id: str,
-        keypair: KeyPair,
-        subnet_id: str,
-        genesis_block: FullBlock,
-        genesis_vm: VM,
-        gossip: GossipNetwork,
-        validators: ValidatorSet,
-        consensus_params: ConsensusParams,
-        byzantine: Optional[set] = None,
-    ) -> None:
-        self.sim = sim
-        self.node_id = node_id
-        self.keypair = keypair
-        self.miner_address = keypair.address
-        self.subnet_id = subnet_id
-        self.gossip = gossip
-        self.validators = validators
-        self.byzantine = set(byzantine or ())
-
-        self.store = ChainStore()
-        self.store.add_block(genesis_block)
-        self.vm = genesis_vm.copy()
-        self.vm.epoch = 0
-        self.mempool = MessagePool()
-        self._orphans: dict[CID, list[FullBlock]] = {}  # parent -> waiting blocks
-        self._commit_listeners: list[Callable[[FullBlock], None]] = []
-        self._notified: set[CID] = {genesis_block.cid}  # blocks already announced
-
-        self.engine = make_engine(sim, self, validators, consensus_params)
-        # State snapshots are kept for every engine (pruned by depth): even
-        # "fork-free" engines fork transiently under partitions, and a
-        # recovering node must be able to validate blocks off its own head.
-        self.store.put_state(genesis_block.cid, self.vm.state.flatten())
-
-        self.topic = subnet_topic(subnet_id)
-        gossip.subscribe(node_id, self.topic, self._on_pubsub)
-
-    # ------------------------------------------------------------------
-    # Lifecycle
-    # ------------------------------------------------------------------
-    def start(self) -> None:
-        self.engine.start()
-
-    def stop(self) -> None:
-        self.engine.stop()
-        self.gossip.unsubscribe(self.node_id, self.topic)
-
-    def is_byzantine(self, behaviour: str) -> bool:
-        return behaviour in self.byzantine
-
-    # ------------------------------------------------------------------
-    # Pubsub
-    # ------------------------------------------------------------------
-    def _on_pubsub(self, envelope: PubsubEnvelope) -> None:
-        kind, payload = envelope.data
-        if envelope.publisher == self.node_id:
-            return  # own messages were handled locally at publish time
-        if kind == "msg":
-            signed: SignedMessage = payload
-            self.mempool.add(signed)
-        else:
-            self.engine.handle(kind, payload, envelope.publisher)
-
-    def broadcast(self, kind: str, payload: Any) -> None:
-        self.gossip.publish(self.node_id, self.topic, (kind, payload))
-
-    # ------------------------------------------------------------------
-    # User-facing entry points
-    # ------------------------------------------------------------------
-    def submit_message(self, signed: SignedMessage) -> bool:
-        """Accept a user transaction into the mempool and gossip it."""
-        if not self.mempool.add(signed):
-            return False
-        self.broadcast("msg", signed)
-        return True
-
-    def head(self) -> FullBlock:
-        return self.store.head
-
-    # ------------------------------------------------------------------
-    # Block assembly (called by the consensus engine when we lead)
-    # ------------------------------------------------------------------
-    def assemble_block(
-        self,
-        height: int,
-        parent_cid: CID,
-        consensus_data: dict,
-        message_filter: Optional[Callable[[SignedMessage], bool]] = None,
-    ) -> FullBlock:
-        parent_state = self._state_at(parent_cid)
-        scratch = self._vm_from_state(parent_state)
-        scratch.epoch = height
-
-        selected = self.mempool.select(
-            nonce_of=scratch.nonce_of,
-            max_messages=self.engine.params.max_block_messages,
-        )
-        if message_filter is not None:
-            selected = [s for s in selected if message_filter(s)]
-        cross = self.select_cross_messages(scratch)
-
-        self._execute_payload(scratch, selected, cross, self.miner_address, height, parent_cid)
-        header = BlockHeader(
-            subnet_id=self.subnet_id,
-            height=height,
-            parent=parent_cid,
-            state_root=scratch.state_root(),
-            messages_root=FullBlock.compute_messages_root(selected, cross),
-            timestamp=self.sim.now,
-            miner=self.miner_address,
-            consensus_data=consensus_data,
-        )
-        return FullBlock(header=header, messages=tuple(selected), cross_messages=tuple(cross))
-
-    def select_cross_messages(self, scratch_vm: VM) -> list:
-        """Cross-msgs to include; the hierarchy node overrides this."""
-        return []
-
-    # ------------------------------------------------------------------
-    # Block reception (from the engine, local or remote)
-    # ------------------------------------------------------------------
-    def receive_block(self, block: FullBlock, final: bool) -> bool:
-        """Validate, execute and store *block*; returns acceptance.
-
-        Out-of-order blocks (parent unknown) are parked and retried when
-        the parent arrives — PoW gossip can deliver children first.
-        """
-        if self.store.has(block.cid):
-            return False
-        parent = self.store.get_optional(block.header.parent)
-        if parent is None:
-            self._orphans.setdefault(block.header.parent, []).append(block)
-            return False
-        try:
-            validate_block_shape(block, parent, self.subnet_id)
-        except ValidationError as err:
-            self.sim.metrics.counter(f"chain.{self.subnet_id}.invalid_blocks").inc()
-            self.sim.trace.emit("block.invalid", self.subnet_id, block.cid.short(), err)
-            return False
-
-        parent_state = self._state_at(block.header.parent)
-        if parent_state is None:
-            return False  # state pruned too deep to validate; ignore
-        scratch = self._vm_from_state(parent_state)
-        scratch.epoch = block.height
-        self._execute_payload(
-            scratch, block.messages, block.cross_messages,
-            block.header.miner, block.height, block.header.parent,
-        )
-        if scratch.state_root() != block.header.state_root:
-            self.sim.metrics.counter(f"chain.{self.subnet_id}.state_mismatch").inc()
-            self.sim.trace.emit("block.state_mismatch", self.subnet_id, block.cid.short())
-            return False
-
-        self.store.put_state(block.cid, scratch.state.flatten())
-
-        old_head = self.store.head_cid
-        head_changed = self.store.add_block(block)
-        if head_changed:
-            self.vm = scratch
-            self._after_head_change(old_head, block)
-        self._retry_orphans(block.cid, final)
-        return True
-
-    def _retry_orphans(self, parent_cid: CID, final: bool) -> None:
-        waiting = self._orphans.pop(parent_cid, [])
-        for orphan in waiting:
-            self.receive_block(orphan, final)
-
-    def _after_head_change(self, old_head: Optional[CID], new_head_block: FullBlock) -> None:
-        """Housekeeping when the canonical head moves."""
-        new_head = new_head_block.cid
-        if old_head is not None and not self.store.is_extension(old_head, new_head):
-            self.sim.metrics.counter(f"chain.{self.subnet_id}.reorgs").inc()
-            self.sim.trace.emit(
-                "chain.reorg", self.subnet_id, old_head.short(), new_head.short()
-            )
-        # Newly canonical segment, oldest first.  Each block is announced to
-        # commit listeners at most once ever, even across reorgs (listeners
-        # receive no "un-commit" signal; fork-capable engines therefore act
-        # only on finalized depths).
-        added: list[FullBlock] = []
-        for block in self.store.ancestors(new_head):
-            if block.cid in self._notified:
-                break
-            added.append(block)
-        added.reverse()
-        for block in added:
-            self._notified.add(block.cid)
-        for block in added:
-            self.mempool.remove_included(block.messages)
-            self.sim.metrics.mark(f"chain.{self.subnet_id}.txs", len(block.messages))
-            self.sim.metrics.mark(f"chain.{self.subnet_id}.blocks", 1)
-            self.sim.trace.emit(
-                "block.commit", self.subnet_id,
-                f"h={block.height}", block.cid.short(), f"msgs={len(block.messages)}",
-            )
-            for listener in self._commit_listeners:
-                listener(block)
-        self.mempool.drop_stale(self.vm.nonce_of)
-
-    def on_commit(self, listener: Callable[[FullBlock], None]) -> None:
-        """Register a callback fired for every newly canonical block."""
-        self._commit_listeners.append(listener)
-
-    # ------------------------------------------------------------------
-    # Execution
-    # ------------------------------------------------------------------
-    def _execute_payload(
-        self, vm: VM, messages, cross_messages, miner: Address,
-        height: int, parent_cid: Optional[CID] = None,
-    ) -> None:
-        """Apply a block's payload to *vm* in canonical order."""
-        if vm.actor_code(REWARD_ACTOR_ADDRESS) == "reward":
-            vm.apply_implicit(
-                SYSTEM_ADDRESS, REWARD_ACTOR_ADDRESS, "award", {"miner": miner.raw}
-            )
-        for cross in cross_messages:
-            self.apply_cross_message(vm, cross, miner)
-        for signed in messages:
-            vm.apply_message(signed.message, miner=miner)
-
-    def apply_cross_message(self, vm: VM, cross, miner: Address) -> None:
-        """Hook for the hierarchy node; the base chain has no cross-msgs."""
-        raise ValidationError("cross messages are not supported on this chain")
-
-    # ------------------------------------------------------------------
-    # State management
-    # ------------------------------------------------------------------
-    def _state_at(self, block_cid: CID) -> Optional[dict]:
-        """Flattened VM state after *block_cid*, or None if unavailable."""
-        if block_cid == self.store.head_cid:
-            return self.vm.state.flatten()
-        return self.store.get_state(block_cid)
-
-    def _vm_from_state(self, flat_state: dict) -> VM:
-        vm = VM(
-            subnet_id=self.vm.subnet_id,
-            registry=self.vm.registry,
-            gas_schedule=self.vm.gas_schedule,
-            gas_price=self.vm.gas_price,
-        )
-        vm.state._layers = [dict(flat_state)]
-        return vm
+__all__ = ["ChainNode", "NodeRuntime", "subnet_topic"]

@@ -6,6 +6,12 @@ validator nodes running per-subnet consensus engines over simulated
 gossipsub, checkpoint anchoring, cross-net transfers, content resolution
 and atomic executions — all on one deterministic simulator.
 
+All networking is composed through :class:`repro.runtime.NetworkStack`
+(simulator + topology + transport + gossip) and every validator is a
+:class:`repro.runtime.ValidatorCluster` of
+:class:`~repro.hierarchy.node.SubnetNode` runtimes — this module only
+orchestrates; it owns no delivery or block-production loop of its own.
+
 Typical use (see ``examples/quickstart.py``)::
 
     system = HierarchicalSystem(seed=42)
@@ -24,7 +30,7 @@ from typing import Callable, Optional
 
 from repro.crypto.keys import Address, KeyPair
 from repro.crypto.threshold import ThresholdScheme
-from repro.consensus.base import ConsensusParams, Validator, ValidatorSet
+from repro.consensus.base import ConsensusParams
 from repro.hierarchy.checkpointing import CheckpointConfig
 from repro.hierarchy.gateway import SCA_ADDRESS
 from repro.hierarchy.genesis import hierarchy_registry, subnet_genesis
@@ -32,10 +38,8 @@ from repro.hierarchy.node import SubnetNode
 from repro.hierarchy.subnet_actor import SignaturePolicy, register_threshold_scheme
 from repro.hierarchy.subnet_id import ROOTNET, SubnetID
 from repro.hierarchy.wallet import Wallet
-from repro.net.gossip import GossipNetwork, GossipParams
-from repro.net.topology import Topology, UniformLatency
-from repro.net.transport import Transport
-from repro.sim.scheduler import Simulator
+from repro.net.gossip import GossipParams
+from repro.runtime import NetworkStack, ValidatorCluster, cluster_members
 from repro.vm.builtin.init_actor import INIT_ACTOR_ADDRESS, derive_actor_address
 
 TREASURY_FUNDS = 10**15
@@ -91,13 +95,11 @@ class HierarchicalSystem:
         gossip_params: Optional[GossipParams] = None,
         accelerate_root: bool = False,
     ) -> None:
-        self.sim = Simulator(seed=seed)
-        topology = Topology(
-            UniformLatency(base=latency, jitter=latency / 2), loss_rate=loss_rate
+        self.stack = NetworkStack(
+            seed=seed, latency=latency, loss_rate=loss_rate, gossip_params=gossip_params
         )
-        self.gossip = GossipNetwork(
-            self.sim, Transport(self.sim, topology), gossip_params
-        )
+        self.sim = self.stack.sim
+        self.gossip = self.stack.gossip
         self.registry = hierarchy_registry()
         self.checkpoint_period = checkpoint_period
         self.min_collateral = min_collateral
@@ -109,7 +111,8 @@ class HierarchicalSystem:
             wallet = self._make_wallet(name)
             genesis_allocations[wallet.address] = funds
 
-        self.nodes_by_subnet: dict[SubnetID, list] = {}
+        self.clusters: dict[SubnetID, ValidatorCluster] = {}
+        self.nodes_by_subnet: dict[SubnetID, list] = {}  # kept in sync with clusters
         self.configs: dict[SubnetID, SubnetConfig] = {}
         self._accelerate_root = accelerate_root
         self._spawn_root(
@@ -127,6 +130,10 @@ class HierarchicalSystem:
         self.wallets[name] = wallet
         return wallet
 
+    def _register_cluster(self, subnet: SubnetID, cluster: ValidatorCluster) -> None:
+        self.clusters[subnet] = cluster
+        self.nodes_by_subnet[subnet] = cluster.nodes
+
     def _spawn_root(self, n_validators, engine, block_time, allocations) -> None:
         keys = [KeyPair(("validator", "/root", i)) for i in range(n_validators)]
         genesis_block, genesis_vm = subnet_genesis(
@@ -136,16 +143,13 @@ class HierarchicalSystem:
             allocations=allocations,
             registry=self.registry,
         )
-        validators = ValidatorSet(
-            Validator(node_id=f"/root#{i}", address=keys[i].address, power=1)
-            for i in range(n_validators)
-        )
         params = ConsensusParams(engine=engine, block_time=block_time)
-        nodes = [
-            SubnetNode(
+
+        def root_node(index, member, validators):
+            return SubnetNode(
                 sim=self.sim,
-                node_id=f"/root#{i}",
-                keypair=keys[i],
+                node_id=member.node_id,
+                keypair=member.keypair,
                 subnet=ROOTNET,
                 genesis_block=genesis_block,
                 genesis_vm=genesis_vm,
@@ -156,9 +160,17 @@ class HierarchicalSystem:
                 parent_node=None,
                 accelerate=self._accelerate_root,
             )
-            for i in range(n_validators)
-        ]
-        self.nodes_by_subnet[ROOTNET] = nodes
+
+        cluster = ValidatorCluster.build(
+            cluster_members(keys, id_prefix=ROOTNET.path),
+            subnet_id=ROOTNET.path,
+            genesis_block=genesis_block,
+            genesis_vm=genesis_vm,
+            consensus_params=params,
+            stack=self.stack,
+            node_factory=root_node,
+        )
+        self._register_cluster(ROOTNET, cluster)
         self.configs[ROOTNET] = SubnetConfig(
             name="root", validators=n_validators, engine=engine, block_time=block_time,
             checkpoint_period=self.checkpoint_period,
@@ -169,35 +181,28 @@ class HierarchicalSystem:
     # ------------------------------------------------------------------
     def start(self) -> "HierarchicalSystem":
         if not self._started:
-            for node in self.nodes_by_subnet[ROOTNET]:
-                node.start()
+            self.clusters[ROOTNET].start()
             self._started = True
         return self
 
     def run_for(self, seconds: float) -> "HierarchicalSystem":
-        self.sim.run_until(self.sim.now + seconds)
+        self.stack.run_for(seconds)
         return self
 
     def run_until(self, time: float) -> "HierarchicalSystem":
-        self.sim.run_until(time)
+        self.stack.run_until(time)
         return self
 
     def wait_for(
         self, predicate: Callable[[], bool], timeout: float = 120.0, step: float = 0.25
     ) -> bool:
         """Advance simulated time until *predicate* holds; False on timeout."""
-        deadline = self.sim.now + timeout
-        while self.sim.now < deadline:
-            if predicate():
-                return True
-            self.sim.run_until(min(self.sim.now + step, deadline))
-        return predicate()
+        return self.stack.wait_for(predicate, timeout=timeout, step=step)
 
     def stop(self) -> None:
-        for nodes in self.nodes_by_subnet.values():
-            for node in nodes:
-                node.stop()
-        self.gossip.shutdown()
+        for cluster in self.clusters.values():
+            cluster.stop()
+        self.stack.shutdown()
 
     # ------------------------------------------------------------------
     # Inspection
@@ -437,10 +442,6 @@ class HierarchicalSystem:
             timestamp=self.sim.now,
             gas_price=config.gas_price,
         )
-        validators = ValidatorSet(
-            Validator(node_id=f"{subnet.path}#{i}", address=keys[i].address, power=powers[i])
-            for i in range(config.validators)
-        )
         params = ConsensusParams(
             engine=config.engine,
             block_time=config.block_time,
@@ -458,8 +459,8 @@ class HierarchicalSystem:
                 )
             )
         parent_nodes = self.nodes_by_subnet[parent]
-        nodes = []
-        for i in range(config.validators):
+
+        def subnet_node(i, member, validators):
             # The checkpoint-submission wallet is the validator wallet that
             # staked on the parent; its keypair must match the node keypair
             # for signature policies, so nodes use the wallet keypairs.
@@ -471,10 +472,10 @@ class HierarchicalSystem:
                 validator_count=config.validators,
                 threshold_share_index=i + 1,
             )
-            node = SubnetNode(
+            return SubnetNode(
                 sim=self.sim,
-                node_id=f"{subnet.path}#{i}",
-                keypair=keys[i],
+                node_id=member.node_id,
+                keypair=member.keypair,
                 subnet=subnet,
                 genesis_block=genesis_block,
                 genesis_vm=genesis_vm,
@@ -489,10 +490,18 @@ class HierarchicalSystem:
                 push_drop_probability=config.push_drop_probability,
                 accelerate=config.accelerate,
             )
-            nodes.append(node)
-        self.nodes_by_subnet[subnet] = nodes
+
+        cluster = ValidatorCluster.build(
+            cluster_members(keys, id_prefix=subnet.path, powers=powers),
+            subnet_id=subnet.path,
+            genesis_block=genesis_block,
+            genesis_vm=genesis_vm,
+            consensus_params=params,
+            stack=self.stack,
+            node_factory=subnet_node,
+        )
+        self._register_cluster(subnet, cluster)
         self.configs[subnet] = config
-        for node in nodes:
-            node.start()
+        cluster.start()
         self.sim.trace.emit("subnet.spawned", subnet.path, f"n={config.validators}",
                             config.engine)

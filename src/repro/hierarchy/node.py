@@ -1,7 +1,7 @@
 """A hierarchical-consensus subnet validator node.
 
-Extends the base :class:`~repro.chain.node.ChainNode` with everything §II
-asks of subnet full nodes:
+Extends the shared :class:`~repro.runtime.node.NodeRuntime` with everything
+§II asks of subnet full nodes:
 
 - syncing the parent chain ("child subnet nodes also run full nodes on the
   parent subnet"): the node holds a parent full-node view and watches its
@@ -19,7 +19,6 @@ from typing import Optional
 
 from repro.crypto.cid import CID
 from repro.crypto.keys import Address
-from repro.chain.node import ChainNode
 from repro.chain.validation import ValidationError
 from repro.hierarchy.checkpointing import CheckpointConfig, CheckpointService
 from repro.hierarchy.crossmsg import ApplyBottomUp, ApplyTopDown
@@ -27,10 +26,11 @@ from repro.hierarchy.crossmsg_pool import CrossMsgPool
 from repro.hierarchy.gateway import SCA_ADDRESS
 from repro.hierarchy.resolution import ResolutionService, sca_registry_reader
 from repro.hierarchy.subnet_id import SubnetID
+from repro.runtime.node import NodeRuntime
 from repro.vm.vm import SYSTEM_ADDRESS, VM
 
 
-class SubnetNode(ChainNode):
+class SubnetNode(NodeRuntime):
     """A validator (or observer) of one subnet in the hierarchy."""
 
     def __init__(

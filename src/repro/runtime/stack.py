@@ -1,0 +1,72 @@
+"""`NetworkStack` — the shared transport fabric under every deployment.
+
+One deployment (the hierarchy, a baseline, a consensus test cluster) builds
+exactly one stack: a deterministic :class:`~repro.sim.scheduler.Simulator`,
+a latency/loss :class:`~repro.net.topology.Topology`, a point-to-point
+:class:`~repro.net.transport.Transport` and the gossipsub-style
+:class:`~repro.net.gossip.GossipNetwork` over it.  Every node routes its
+traffic through this facade instead of assembling a private copy of the
+net layer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.gossip import GossipNetwork, GossipParams
+from repro.net.topology import Topology, UniformLatency
+from repro.net.transport import Transport
+from repro.sim.scheduler import Simulator
+
+
+class NetworkStack:
+    """Simulator + topology + transport + gossip, composed once."""
+
+    def __init__(
+        self,
+        seed: int = 1,
+        latency: float = 0.02,
+        jitter: Optional[float] = None,
+        loss_rate: float = 0.0,
+        gossip_params: Optional[GossipParams] = None,
+        sim: Optional[Simulator] = None,
+        topology: Optional[Topology] = None,
+    ) -> None:
+        self.sim = sim if sim is not None else Simulator(seed=seed)
+        if topology is None:
+            model = UniformLatency(
+                base=latency, jitter=latency / 2 if jitter is None else jitter
+            )
+            topology = Topology(model, loss_rate=loss_rate)
+        self.topology = topology
+        self.transport = Transport(self.sim, self.topology)
+        self.gossip = GossipNetwork(self.sim, self.transport, gossip_params)
+
+    # ------------------------------------------------------------------
+    # Clock helpers shared by every deployment built on the stack
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def run_for(self, seconds: float) -> "NetworkStack":
+        self.sim.run_until(self.sim.now + seconds)
+        return self
+
+    def run_until(self, time: float) -> "NetworkStack":
+        self.sim.run_until(time)
+        return self
+
+    def wait_for(
+        self, predicate: Callable[[], bool], timeout: float = 120.0, step: float = 0.25
+    ) -> bool:
+        """Advance simulated time until *predicate* holds; False on timeout."""
+        deadline = self.sim.now + timeout
+        while self.sim.now < deadline:
+            if predicate():
+                return True
+            self.sim.run_until(min(self.sim.now + step, deadline))
+        return predicate()
+
+    def shutdown(self) -> None:
+        self.gossip.shutdown()

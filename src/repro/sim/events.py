@@ -19,7 +19,7 @@ class Event:
     cancelled event is skipped by the queue and never executed.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "kwargs", "cancelled", "label")
+    __slots__ = ("time", "seq", "callback", "args", "kwargs", "cancelled", "label", "popped")
 
     def __init__(
         self,
@@ -37,6 +37,7 @@ class Event:
         self.kwargs = kwargs or {}
         self.cancelled = False
         self.label = label
+        self.popped = False
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Idempotent."""
@@ -94,6 +95,7 @@ class EventQueue:
             if event.cancelled:
                 continue
             self._live -= 1
+            event.popped = True
             return event
         raise IndexError("pop from empty EventQueue")
 

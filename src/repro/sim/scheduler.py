@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time as _wallclock
 from typing import Any, Callable, Optional
 
 from repro.sim.events import Event, EventQueue
@@ -14,13 +15,138 @@ class SimulationError(RuntimeError):
     """Raised when the simulator is driven incorrectly."""
 
 
+class DispatchBus:
+    """Instrumented event dispatch between the run loop and ``Event.fire()``.
+
+    Every event executed by the :class:`Simulator` flows through this bus,
+    which records per-label dispatch counts and cumulative/max wall-clock
+    timings (label falls back to the callback's ``__name__``), and exposes
+    pre/post-dispatch hooks:
+
+    - *pre-dispatch* hooks run before the event fires and may call
+      ``event.cancel()`` to suppress it — the fault-injection point for
+      dropping timers, consensus steps or deliveries without touching the
+      component under test;
+    - *post-dispatch* hooks run after the event fired (even if the callback
+      raised) with the elapsed wall-clock seconds — the profiling point.
+
+    Wall-clock timings are real (host) time, not simulated time: they answer
+    "where does this run spend its CPU?".  They are kept out of the trace
+    log so trace digests stay deterministic; :meth:`publish` exports them as
+    gauges on the simulator's :class:`MetricsRegistry` on demand.
+    """
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        self.metrics = metrics
+        self.trace = trace
+        self.counts: dict[str, int] = {}
+        self.wall_seconds: dict[str, float] = {}
+        self.max_wall_seconds: dict[str, float] = {}
+        self.suppressed: dict[str, int] = {}
+        self._pre_hooks: list[Callable[[Event], None]] = []
+        self._post_hooks: list[Callable[[Event, float], None]] = []
+
+    @staticmethod
+    def label_of(event: Event) -> str:
+        return event.label or getattr(event.callback, "__name__", "?")
+
+    # -- hooks ----------------------------------------------------------
+    def on_pre_dispatch(self, hook: Callable[[Event], None]) -> Callable[[], None]:
+        """Register *hook* to run before each event fires; returns a remover."""
+        self._pre_hooks.append(hook)
+
+        def _remove() -> None:
+            if hook in self._pre_hooks:
+                self._pre_hooks.remove(hook)
+
+        return _remove
+
+    def on_post_dispatch(
+        self, hook: Callable[[Event, float], None]
+    ) -> Callable[[], None]:
+        """Register *hook* to run after each event fires; returns a remover."""
+        self._post_hooks.append(hook)
+
+        def _remove() -> None:
+            if hook in self._post_hooks:
+                self._post_hooks.remove(hook)
+
+        return _remove
+
+    # -- dispatch -------------------------------------------------------
+    def dispatch(self, event: Event) -> Any:
+        """Fire *event* through the hooks, recording counts and timings."""
+        label = self.label_of(event)
+        for hook in list(self._pre_hooks):
+            hook(event)
+        if event.cancelled:
+            self.suppressed[label] = self.suppressed.get(label, 0) + 1
+            if self.trace is not None:
+                self.trace.emit("dispatch.suppressed", label)
+            return None
+        start = _wallclock.perf_counter()
+        try:
+            return event.fire()
+        finally:
+            elapsed = _wallclock.perf_counter() - start
+            self.counts[label] = self.counts.get(label, 0) + 1
+            self.wall_seconds[label] = self.wall_seconds.get(label, 0.0) + elapsed
+            if elapsed > self.max_wall_seconds.get(label, 0.0):
+                self.max_wall_seconds[label] = elapsed
+            for hook in list(self._post_hooks):
+                hook(event, elapsed)
+
+    # -- reporting ------------------------------------------------------
+    def summary(self) -> list[dict]:
+        """Per-label dispatch statistics, busiest label first."""
+        rows = []
+        for label in sorted(self.counts, key=lambda k: (-self.counts[k], k)):
+            count = self.counts[label]
+            wall = self.wall_seconds.get(label, 0.0)
+            rows.append(
+                {
+                    "label": label,
+                    "events": count,
+                    "wall_s": wall,
+                    "mean_s": wall / count if count else 0.0,
+                    "max_s": self.max_wall_seconds.get(label, 0.0),
+                    "suppressed": self.suppressed.get(label, 0),
+                }
+            )
+        return rows
+
+    def publish(self, metrics: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+        """Export per-label counts/timings as ``sim.dispatch.*`` gauges."""
+        registry = metrics or self.metrics
+        if registry is None:
+            raise SimulationError("DispatchBus has no metrics registry to publish to")
+        for row in self.summary():
+            prefix = f"sim.dispatch.{row['label']}"
+            registry.gauge(f"{prefix}.events").set(row["events"])
+            registry.gauge(f"{prefix}.wall_s").set(row["wall_s"])
+            registry.gauge(f"{prefix}.wall_max_s").set(row["max_s"])
+        return registry
+
+    def reset(self) -> None:
+        """Clear accumulated statistics (hooks stay registered)."""
+        self.counts.clear()
+        self.wall_seconds.clear()
+        self.max_wall_seconds.clear()
+        self.suppressed.clear()
+
+
 class Simulator:
     """A deterministic discrete-event simulator.
 
     The simulator owns the simulated clock (:attr:`now`, in seconds), the
     event queue, the root :class:`~repro.sim.rng.SeedSequence` from which all
-    component RNGs are derived, a :class:`~repro.sim.metrics.MetricsRegistry`
-    and a :class:`~repro.sim.tracing.TraceLog`.
+    component RNGs are derived, a :class:`~repro.sim.metrics.MetricsRegistry`,
+    a :class:`~repro.sim.tracing.TraceLog` and a :class:`DispatchBus` through
+    which every executed event flows.
 
     Typical use::
 
@@ -36,6 +162,7 @@ class Simulator:
         self.queue = EventQueue()
         self.metrics = MetricsRegistry(clock=lambda: self.now)
         self.trace = TraceLog(clock=lambda: self.now)
+        self.dispatch = DispatchBus(metrics=self.metrics, trace=self.trace)
         self._events_executed = 0
         self._halted = False
 
@@ -69,10 +196,12 @@ class Simulator:
         return self.queue.push(time, callback, args, kwargs, label=label)
 
     def cancel(self, event: Event) -> None:
-        """Cancel a pending event."""
+        """Cancel a pending event.  Safe on already-fired events (no-op for
+        queue accounting: only events still in the queue release a slot)."""
         if not event.cancelled:
             event.cancel()
-            self.queue.note_cancel()
+            if not event.popped:
+                self.queue.note_cancel()
 
     def every(
         self,
@@ -81,6 +210,7 @@ class Simulator:
         *args: Any,
         start_after: Optional[float] = None,
         label: str = "",
+        on_error: str = "log",
         **kwargs: Any,
     ) -> Callable[[], None]:
         """Run *callback* periodically every *interval* seconds.
@@ -88,15 +218,37 @@ class Simulator:
         Returns a zero-argument function that stops the recurrence.  The
         first firing happens after *start_after* seconds (default: one full
         interval).
+
+        ``on_error`` decides what an exception raised by *callback* does to
+        the recurrence:
+
+        - ``"log"`` (default): record a ``timer.error`` trace + metric and
+          keep ticking — one bad tick must not silently kill a heartbeat;
+        - ``"stop"``: record the error and end the recurrence;
+        - ``"raise"``: end the recurrence and propagate the exception out of
+          the run loop (the pre-existing behaviour).
         """
         if interval <= 0:
             raise SimulationError(f"interval must be positive (got {interval})")
+        if on_error not in ("log", "stop", "raise"):
+            raise SimulationError(f"unknown on_error policy {on_error!r}")
         state = {"stopped": False, "event": None}
 
         def _tick() -> None:
             if state["stopped"]:
                 return
-            callback(*args, **kwargs)
+            try:
+                callback(*args, **kwargs)
+            except Exception as err:
+                if on_error == "raise":
+                    state["stopped"] = True
+                    raise
+                name = label or getattr(callback, "__name__", "?")
+                self.trace.emit("timer.error", name, type(err).__name__, err)
+                self.metrics.counter(f"sim.timer.errors.{name}").inc()
+                if on_error == "stop":
+                    state["stopped"] = True
+                    return
             if not state["stopped"]:
                 state["event"] = self.schedule(interval, _tick, label=label)
 
@@ -123,15 +275,16 @@ class Simulator:
             raise SimulationError("event queue produced an event in the past")
         self.now = event.time
         self._events_executed += 1
-        event.fire()
+        self.dispatch.dispatch(event)
         return True
 
     def run_until(self, time: float, max_events: Optional[int] = None) -> int:
         """Run events until simulated *time* (inclusive of events at *time*).
 
-        Returns the number of events executed.  The clock is advanced to
-        *time* even if the queue drains earlier, so subsequent scheduling is
-        relative to the requested horizon.
+        Returns the number of events executed.  Unless halted, the clock is
+        advanced to *time* even if the queue drains earlier, so subsequent
+        scheduling is relative to the requested horizon; a :meth:`halt`
+        leaves the clock at the halting event's time.
         """
         executed = 0
         self._halted = False
@@ -145,7 +298,7 @@ class Simulator:
                 raise SimulationError(
                     f"exceeded max_events={max_events} before reaching t={time}"
                 )
-        if self.now < time:
+        if not self._halted and self.now < time:
             self.now = time
         return executed
 

@@ -6,12 +6,8 @@ import pytest
 
 from repro.crypto.keys import KeyPair
 from repro.chain.genesis import GenesisParams, build_genesis
-from repro.chain.node import ChainNode
-from repro.consensus.base import ConsensusParams, Validator, ValidatorSet
-from repro.net.gossip import GossipNetwork
-from repro.net.topology import Topology, UniformLatency
-from repro.net.transport import Transport
-from repro.sim.scheduler import Simulator
+from repro.consensus.base import ConsensusParams
+from repro.runtime import ClusterMember, NetworkStack, ValidatorCluster
 from repro.vm.message import Message, SignedMessage
 
 
@@ -30,15 +26,11 @@ class Cluster:
         allocations: dict = None,
         consensus_overrides: dict = None,
     ) -> None:
-        self.sim = Simulator(seed=seed)
-        topology = Topology(UniformLatency(base=latency, jitter=latency / 2))
-        self.gossip = GossipNetwork(self.sim, Transport(self.sim, topology))
+        self.stack = NetworkStack(seed=seed, latency=latency)
+        self.sim = self.stack.sim
+        self.gossip = self.stack.gossip
         self.keys = [KeyPair(f"validator-{i}") for i in range(n_nodes)]
         powers = powers or [1] * n_nodes
-        validators = ValidatorSet(
-            Validator(node_id=f"n{i}", address=self.keys[i].address, power=powers[i])
-            for i in range(n_nodes)
-        )
         self.user_keys = [KeyPair(f"user-{i}") for i in range(4)]
         genesis_allocations = {k.address: 1_000_000 for k in self.user_keys}
         if allocations:
@@ -48,31 +40,27 @@ class Cluster:
         )
         params_kwargs = dict(engine=engine, block_time=block_time)
         params_kwargs.update(consensus_overrides or {})
-        byzantine = byzantine or {}
-        self.nodes = [
-            ChainNode(
-                sim=self.sim,
-                node_id=f"n{i}",
-                keypair=self.keys[i],
-                subnet_id="/root",
-                genesis_block=genesis_block,
-                genesis_vm=genesis_vm,
-                gossip=self.gossip,
-                validators=validators,
-                consensus_params=ConsensusParams(**params_kwargs),
-                byzantine=byzantine.get(f"n{i}"),
-            )
-            for i in range(n_nodes)
-        ]
+        self.cluster = ValidatorCluster.build(
+            [
+                ClusterMember(node_id=f"n{i}", keypair=self.keys[i], power=powers[i])
+                for i in range(n_nodes)
+            ],
+            subnet_id="/root",
+            genesis_block=genesis_block,
+            genesis_vm=genesis_vm,
+            consensus_params=ConsensusParams(**params_kwargs),
+            stack=self.stack,
+            byzantine=byzantine or {},
+        )
+        self.nodes = self.cluster.nodes
         self.genesis_block = genesis_block
 
     def start(self):
-        for node in self.nodes:
-            node.start()
+        self.cluster.start()
         return self
 
     def run(self, seconds: float):
-        self.sim.run_until(self.sim.now + seconds)
+        self.stack.run_for(seconds)
         return self
 
     def submit_payment(self, user_index: int, nonce: int, to=None, value: int = 1, node_index: int = 0):

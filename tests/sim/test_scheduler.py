@@ -143,3 +143,141 @@ def test_events_executed_counter():
         sim.schedule(float(i), lambda: None)
     sim.run()
     assert sim.events_executed == 5
+
+
+# ----------------------------------------------------------------------
+# every(): error policies
+# ----------------------------------------------------------------------
+def test_every_callback_error_keeps_ticking_by_default():
+    """Regression: one bad tick must not silently kill the recurrence."""
+    sim = Simulator()
+    ticks = []
+
+    def flaky():
+        ticks.append(sim.now)
+        if len(ticks) == 2:
+            raise ValueError("transient failure")
+
+    sim.every(1.0, flaky, label="flaky")
+    sim.run_until(4.5)
+    assert ticks == [1.0, 2.0, 3.0, 4.0]
+    assert sim.trace.count("timer.error") == 1
+    record = next(sim.trace.filter(kind="timer.error"))
+    assert record.subject == "flaky"
+    assert "transient failure" in record.detail
+    assert sim.metrics.counter("sim.timer.errors.flaky").value == 1
+
+
+def test_every_on_error_stop_ends_recurrence_and_logs():
+    sim = Simulator()
+    ticks = []
+
+    def bad():
+        ticks.append(sim.now)
+        raise RuntimeError("fatal")
+
+    sim.every(1.0, bad, on_error="stop", label="bad")
+    sim.run_until(5.0)
+    assert ticks == [1.0]
+    assert sim.trace.count("timer.error") == 1
+
+
+def test_every_on_error_raise_propagates():
+    sim = Simulator()
+
+    def bad():
+        raise RuntimeError("boom")
+
+    sim.every(1.0, bad, on_error="raise")
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run_until(5.0)
+    # The recurrence died with the exception; nothing further is scheduled.
+    sim.run_until(10.0)
+    assert sim.trace.count("timer.error") == 0
+
+
+def test_every_rejects_unknown_on_error_policy():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.every(1.0, lambda: None, on_error="ignore")
+
+
+# ----------------------------------------------------------------------
+# Scheduler edge cases
+# ----------------------------------------------------------------------
+def test_stop_from_inside_callback_keeps_queue_accounting():
+    """Cancelling a recurring timer's in-flight event must not steal a
+    live-event slot from the queue (the event was already popped)."""
+    sim = Simulator()
+    ticks = []
+    holder = {}
+
+    def cb():
+        ticks.append(sim.now)
+        if len(ticks) == 2:
+            holder["stop"]()
+
+    holder["stop"] = sim.every(1.0, cb)
+    sentinel = []
+    sim.schedule(10.0, lambda: sentinel.append(True))
+    sim.run()
+    assert ticks == [1.0, 2.0]
+    assert sentinel == [True]
+
+
+def test_cancel_already_fired_event_is_noop_for_queue():
+    sim = Simulator()
+    fired = {}
+
+    def cb():
+        fired["event"] = event
+
+    event = sim.schedule(1.0, cb)
+    later = sim.schedule(2.0, lambda: fired.setdefault("later", True))
+    sim.run_until(1.0)
+    sim.cancel(fired["event"])  # already executed
+    assert len(sim.queue) == 1  # `later` still counted as live
+    sim.run()
+    assert fired.get("later") is True
+    assert later.popped
+
+
+def test_halt_during_run_until_leaves_clock_at_halt_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append(1), sim.halt()))
+    sim.schedule(2.0, lambda: fired.append(2))
+    executed = sim.run_until(10.0)
+    assert executed == 1
+    assert fired == [1]
+    assert sim.now == 1.0  # not advanced to the horizon
+    # Resuming picks up the remaining event and then advances the clock.
+    sim.run_until(10.0)
+    assert fired == [1, 2]
+    assert sim.now == 10.0
+
+
+def test_schedule_at_now_ordering_ties_run_in_insertion_order():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.now == 1.0
+    order = []
+    sim.schedule_at(sim.now, lambda: order.append("a"))
+    sim.schedule_at(sim.now, lambda: order.append("b"))
+    sim.schedule(0.0, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 1.0
+
+
+def test_rng_scope_deterministic_across_runs():
+    def draws(seed):
+        sim = Simulator(seed=seed)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        rng = sim.rng("component", 3, "sub")
+        return [rng.random() for _ in range(5)]
+
+    assert draws(11) == draws(11)
+    assert draws(11) != draws(12)
