@@ -13,7 +13,7 @@ import pytest
 
 from repro.hierarchy import ROOTNET
 
-from common import build_hierarchy, run_once, show_table
+from common import build_hierarchy, run_once, show_table, write_bench_json
 
 BLOCK_TIME = 0.25
 PERIODS = (4, 8, 16, 32)
@@ -80,6 +80,7 @@ def test_e10_checkpoint_period_tradeoff(benchmark):
         ],
     )
 
+    write_bench_json("e10_overhead", rows=rows)
     by = {row["period"]: row for row in rows}
     # Latency grows with the period…
     assert by[32]["latency_p50"] > by[4]["latency_p50"]

@@ -18,7 +18,7 @@ import pytest
 
 from repro.hierarchy import ROOTNET, HierarchicalSystem, SubnetConfig
 
-from common import run_once, show_table
+from common import capture_sim, run_once, show_table, write_bench_json
 
 BLOCK_TIME = 0.25
 PERIODS = (8, 16, 32)
@@ -31,6 +31,7 @@ def _run_period(period: int, seed: int):
         checkpoint_period=period, accelerate_root=True,
         wallet_funds={"payer": 10**9},
     ).start()
+    capture_sim(system.sim)
     subnet = system.spawn_subnet(
         SubnetConfig(name="acc", validators=3, block_time=BLOCK_TIME,
                      checkpoint_period=period, accelerate=True)
@@ -82,6 +83,7 @@ def test_e11_accelerated_crossmsgs(benchmark):
         ],
     )
 
+    write_bench_json("e11_acceleration", rows=rows)
     for row in rows:
         assert row["cert_mean"] == row["cert_mean"], "certificates never arrived"
         assert row["cert_mean"] < row["settle_mean"]

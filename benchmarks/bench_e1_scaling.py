@@ -22,6 +22,7 @@ from common import (
     run_once,
     show_table,
     start_subnet_payments,
+    write_bench_json,
 )
 
 MEASURE_SECONDS = 40.0
@@ -119,6 +120,7 @@ def test_e1_horizontal_scaling(benchmark):
         DISPATCH_COLUMNS,
         dispatch,
     )
+    write_bench_json("e1_scaling", rows=rows)
     assert dispatch, "dispatch bus recorded no events"
     assert all(events > 0 for _, events, *_ in dispatch)
 

@@ -18,7 +18,13 @@ import pytest
 
 from repro.hierarchy import ROOTNET, SCA_ADDRESS
 
-from common import build_hierarchy, fund_subnet_senders, run_once, show_table
+from common import (
+    build_hierarchy,
+    fund_subnet_senders,
+    run_once,
+    show_table,
+    write_bench_json,
+)
 
 BLOCK_TIME = 0.25
 PERIOD = 16  # blocks per window -> window length 4.0s
@@ -72,6 +78,7 @@ def test_e2_checkpoint_window_timing(benchmark):
         ["offset (fraction)", "seal wait (s)", "end-to-end to parent (s)"],
         [(row["offset"], row["seal_wait"], row["e2e"]) for row in rows],
     )
+    write_bench_json("e2_checkpointing", rows=rows)
 
     # Sawtooth: later arrivals wait less for the seal.
     seal_waits = [row["seal_wait"] for row in rows]

@@ -14,23 +14,40 @@ grows by ≈window-length per level; the path message costs roughly the sum
 of its bottom-up and top-down legs.
 """
 
+import os
+
 import pytest
 
 from repro.hierarchy import ROOTNET, HierarchicalSystem, SubnetConfig
+from repro.telemetry import (
+    telemetry_snapshot,
+    write_chrome_trace,
+    write_json,
+    write_prometheus,
+)
 
-from common import run_once, show_table
+import common
+from common import bench_out_dir, capture_sim, run_once, show_table, write_bench_json
 
 BLOCK_TIME = 0.25
 PERIOD = 8  # 2.0s windows
 WINDOW = BLOCK_TIME * PERIOD
 DEPTHS = (1, 2, 3)
 
+_SYSTEM = None  # the measured run, kept for the telemetry exports
+
 
 def _build_deep_system():
+    global _SYSTEM
     system = HierarchicalSystem(
         seed=311, root_validators=3, root_block_time=0.5,
         checkpoint_period=PERIOD, wallet_funds={"driver": 10**12},
     ).start()
+    # E3 is the telemetry flagship: causal spans for every cross-net
+    # transfer below, plus per-subnet health samples.
+    system.enable_telemetry(health_interval=2.0)
+    capture_sim(system.sim)
+    _SYSTEM = system
     parent = ROOTNET
     chain = []
     for depth in range(1, max(DEPTHS) + 1):
@@ -113,6 +130,25 @@ def test_e3_crossmsg_latency_vs_depth(benchmark):
         ["kind", "depth", "latency (s)"],
         [(row["kind"], row["depth"], row["latency"]) for row in rows],
     )
+
+    # Export the full telemetry of the run: machine-readable bench rows,
+    # a JSON dump for `python -m repro.telemetry.report`, a Prometheus
+    # text file, and a Perfetto-loadable Chrome trace.
+    system = _SYSTEM
+    tracer = system.span_tracer
+    out = bench_out_dir()
+    write_bench_json("e3_crossmsgs", rows=rows)
+    dump = telemetry_snapshot(
+        system.sim, tracer=tracer, probe=system.health_probe,
+        wall_seconds=common.LAST_WALL_SECONDS,
+    )
+    write_json(os.path.join(out, "TELEMETRY_e3.json"), dump)
+    write_prometheus(os.path.join(out, "TELEMETRY_e3.prom"), system.sim)
+    write_chrome_trace(os.path.join(out, "TRACE_e3.json"), system.sim, tracer)
+    # Spawn-time funding also traces, so at least the measured transfers.
+    assert tracer.delivered_count() >= len(rows), "every transfer should be spanned"
+    assert dump["histograms"].get("xnet.hop.topdown.L1", {}).get("count", 0) > 0
+    assert dump["histograms"].get("checkpoint.lag", {}).get("count", 0) > 0
 
     by = {(r["kind"], r["depth"]): r["latency"] for r in rows}
     # Everything arrived.

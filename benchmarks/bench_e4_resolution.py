@@ -16,7 +16,7 @@ import pytest
 
 from repro.hierarchy import ROOTNET
 
-from common import build_hierarchy, run_once, show_table
+from common import build_hierarchy, run_once, show_table, write_bench_json
 
 BLOCK_TIME = 0.25
 PERIOD = 8
@@ -82,6 +82,7 @@ def test_e4_push_vs_pull_resolution(benchmark):
         ],
     )
 
+    write_bench_json("e4_resolution", rows=results)
     push, pull = results["push"], results["pull"]
     # Push mode: destination cached pushes; essentially no pull traffic
     # needed for delivery (the pool may still race a request before the

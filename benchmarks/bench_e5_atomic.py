@@ -18,7 +18,7 @@ import pytest
 from repro.hierarchy import SCA_ADDRESS, HierarchicalSystem, SubnetConfig
 from repro.hierarchy.atomic import AtomicExecutionClient, AtomicParty, asset_owner
 
-from common import run_once, show_table
+from common import capture_sim, run_once, show_table, write_bench_json
 
 BLOCK_TIME = 0.25
 PERIOD = 8
@@ -30,6 +30,7 @@ def _system_with_parties(seed: int, n_parties: int):
         checkpoint_period=PERIOD,
         wallet_funds={f"party{i}": 10**9 for i in range(n_parties)},
     ).start()
+    capture_sim(system.sim)
     parties = []
     for i in range(n_parties):
         subnet = system.spawn_subnet(
@@ -125,6 +126,7 @@ def test_e5_atomic_execution(benchmark):
         ] + [("abort", 2, "-", abort["decide_time"], abort["apply_time"])],
     )
 
+    write_bench_json("e5_atomic", rows={"sweep": sweep, "abort": abort})
     # Timeliness: everything decided and applied (asserts above), and the
     # decision at the LCA lands within a handful of windows.
     window = BLOCK_TIME * PERIOD

@@ -23,7 +23,7 @@ from repro.baselines import shard_compromise_probability
 from repro.crypto.keys import KeyPair
 from repro.hierarchy import ROOTNET, CompromisedSubnet, audit_system
 
-from common import build_hierarchy, run_once, show_table
+from common import build_hierarchy, run_once, show_table, write_bench_json
 
 INJECTED = 10_000
 CLAIM_MULTIPLIERS = (1, 10, 100, 1000)
@@ -96,6 +96,7 @@ def test_e6_firewall_vs_sharding(benchmark):
         [(row["shards"], row["adversary"], row["p_compromise"]) for row in shard_rows],
     )
 
+    write_bench_json("e6_firewall", rows={"hc": hc_rows, "sharding": shard_rows})
     # HC: extraction never exceeds the circulating supply, for any claim.
     for row in hc_rows:
         assert row["extracted"] <= row["supply"]

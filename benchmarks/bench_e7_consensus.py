@@ -18,7 +18,13 @@ import pytest
 
 from repro.workloads import PaymentWorkload
 
-from common import build_hierarchy, fund_subnet_senders, run_once, show_table
+from common import (
+    build_hierarchy,
+    fund_subnet_senders,
+    run_once,
+    show_table,
+    write_bench_json,
+)
 
 BLOCK_TIME = 0.5
 MEASURE_SECONDS = 40.0
@@ -81,6 +87,7 @@ def test_e7_engine_comparison(benchmark):
         ],
     )
 
+    write_bench_json("e7_consensus", rows=rows)
     by = {row["engine"]: row for row in rows}
     # Slot engines hit the target interval tightly.
     for engine in ("poa", "pos"):

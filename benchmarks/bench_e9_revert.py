@@ -19,7 +19,7 @@ import pytest
 
 from repro.hierarchy import ROOTNET, audit_system
 
-from common import build_hierarchy, run_once, show_table
+from common import build_hierarchy, run_once, show_table, write_bench_json
 
 BLOCK_TIME = 0.25
 PERIOD = 8
@@ -100,6 +100,7 @@ def test_e9_failing_crossmsgs_revert(benchmark):
         ],
     )
 
+    write_bench_json("e9_revert", rows=result)
     assert result["healthy_delivered"], "healthy traffic was disturbed"
     assert result["reverted"], "poisoned value never came back"
     # Liveness: both chains kept producing blocks the whole time.

@@ -9,14 +9,93 @@ crossovers are — not absolute numbers, since the substrate is a simulator.
 
 from __future__ import annotations
 
+import json
+import math
+import os
+import time
+
 from repro.analysis import Table
 from repro.hierarchy import HierarchicalSystem, SubnetConfig
 from repro.workloads import PaymentWorkload
 
+# Stashed by run_once / capture_sim so write_bench_json can snapshot the
+# run without every experiment function having to thread them through.
+LAST_WALL_SECONDS = None
+LAST_SIM = None
+
+
+def capture_sim(sim):
+    """Remember *sim* as the run to snapshot in ``write_bench_json``.
+
+    ``build_hierarchy`` captures automatically; benches that build systems
+    or baselines directly call this on the run they want exported.
+    """
+    global LAST_SIM
+    LAST_SIM = sim
+    return sim
+
 
 def run_once(benchmark, fn):
     """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    def timed():
+        global LAST_WALL_SECONDS
+        started = time.perf_counter()
+        result = fn()
+        LAST_WALL_SECONDS = time.perf_counter() - started
+        return result
+
+    return benchmark.pedantic(timed, rounds=1, iterations=1)
+
+
+def bench_out_dir() -> str:
+    """Where BENCH_*.json (and telemetry exports) land: $BENCH_OUT_DIR or cwd."""
+    path = os.environ.get("BENCH_OUT_DIR", ".")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def _json_sanitize(value):
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {str(k): _json_sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_sanitize(v) for v in value]
+    return value
+
+
+def write_bench_json(name: str, rows=None, sim=None, extra=None) -> str:
+    """Write ``BENCH_<name>.json``: result rows + metrics snapshot + timing.
+
+    Machine-readable companion to the printed tables, so CI can archive
+    every run and regressions are diffable.  *sim* defaults to the last
+    captured simulator (see :func:`capture_sim`).
+    """
+    sim = sim if sim is not None else LAST_SIM
+    document = {
+        "schema": "repro.bench/v1",
+        "bench": name,
+        "wall_seconds": LAST_WALL_SECONDS,
+        "rows": _json_sanitize(rows),
+    }
+    if extra:
+        document["extra"] = _json_sanitize(extra)
+    if sim is not None:
+        sim.dispatch.publish()
+        document["sim"] = {
+            "now": sim.now,
+            "events_executed": sim.events_executed,
+            "seed": sim.seed,
+        }
+        document["metrics"] = _json_sanitize(sim.metrics.snapshot())
+        document["dispatch"] = _json_sanitize(sim.dispatch.summary()[:16])
+    path = os.path.join(bench_out_dir(), f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, allow_nan=False)
+        handle.write("\n")
+    print(f"\n[bench] wrote {path}")
+    return path
 
 
 def show_table(title, columns, rows) -> Table:
@@ -74,6 +153,7 @@ def build_hierarchy(
         checkpoint_period=checkpoint_period,
         wallet_funds=wallet_funds or {},
     ).start()
+    capture_sim(system.sim)
     subnets = []
     for i in range(n_subnets):
         subnets.append(

@@ -257,6 +257,10 @@ class CheckpointService:
             "checkpoint.submit", str(self.node.subnet_id),
             f"window={window}", checkpoint.cid.short(),
         )
+        if self.sim.span_tracer is not None:
+            self.sim.span_tracer.checkpoint_submitted(
+                checkpoint.cid.hex(), str(self.node.subnet_id), window
+            )
         self._push_contents(checkpoint)
 
     def _push_contents(self, checkpoint: Checkpoint) -> None:

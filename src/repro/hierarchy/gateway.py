@@ -315,7 +315,14 @@ class SubnetCoordinatorActor(Actor):
         record["circulating"] += message.value
         record["injected_total"] += message.value
         self._put_child(ctx, child_path, record)
-        ctx.emit("crossmsg.topdown", (child_path, nonce, message.value))
+        # The trailing fields (msg cid, final destination, kind) let chain
+        # watchers — notably the telemetry span tracer — correlate this
+        # enqueue with the same message's later hops.
+        ctx.emit(
+            "crossmsg.topdown",
+            (child_path, nonce, message.value, message.cid.hex(),
+             message.to_subnet.path, message.to_addr.raw, message.kind),
+        )
 
     def _enqueue_bottomup(self, ctx, message: CrossMsg) -> None:
         """Burn funds locally and add the message to the current window's
@@ -326,7 +333,11 @@ class SubnetCoordinatorActor(Actor):
         count = ctx.state_get(f"out_count/{window}", 0)
         ctx.state_set(f"out/{window}/{count}", message)
         ctx.state_set(f"out_count/{window}", count + 1)
-        ctx.emit("crossmsg.bottomup", (window, count, message.value))
+        ctx.emit(
+            "crossmsg.bottomup",
+            (window, count, message.value, message.cid.hex(),
+             message.to_subnet.path, message.to_addr.raw, message.kind),
+        )
 
     # ==================================================================
     # Cross-net message application (§IV-B, Fig. 3)
@@ -436,9 +447,15 @@ class SubnetCoordinatorActor(Actor):
                 caller=message.from_addr,
             )
             if receipt.ok:
-                ctx.emit("crossmsg.delivered", (message.to_addr.raw, message.value))
+                ctx.emit(
+                    "crossmsg.delivered",
+                    (message.to_addr.raw, message.value, message.cid.hex()),
+                )
                 return
-            ctx.emit("crossmsg.failed", (message.to_addr.raw, receipt.error))
+            ctx.emit(
+                "crossmsg.failed",
+                (message.to_addr.raw, receipt.error, message.cid.hex()),
+            )
             if message.kind == "revert":
                 # A failed revert is terminal: funds accrue to the SCA
                 # rather than ping-ponging through the hierarchy forever.

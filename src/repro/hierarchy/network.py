@@ -119,6 +119,8 @@ class HierarchicalSystem:
             root_validators, root_engine, root_block_time, genesis_allocations
         )
         self._started = False
+        self.span_tracer = None
+        self.health_probe = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -205,6 +207,26 @@ class HierarchicalSystem:
         self.stack.shutdown()
 
     # ------------------------------------------------------------------
+    # Telemetry (opt-in; digest-neutral — see DESIGN.md § Observability)
+    # ------------------------------------------------------------------
+    def enable_telemetry(self, health_interval: Optional[float] = None):
+        """Install causal span tracing (and, optionally, health sampling).
+
+        Imported lazily so the hierarchy layer carries no telemetry
+        dependency unless a run asks for it.  Idempotent; returns the
+        :class:`~repro.telemetry.spans.SpanTracer`.
+        """
+        if self.span_tracer is None:
+            from repro.telemetry import SpanTracer
+
+            self.span_tracer = SpanTracer(self.sim).install()
+        if health_interval is not None and self.health_probe is None:
+            from repro.telemetry import HealthProbe
+
+            self.health_probe = HealthProbe(self, interval=health_interval).start()
+        return self.span_tracer
+
+    # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------
     def node(self, subnet) -> SubnetNode:
@@ -257,13 +279,18 @@ class HierarchicalSystem:
     def fund_subnet(self, wallet: Wallet, child, to: Address, value: int):
         """Inject *value* from the child's parent chain into the child (§II)."""
         child = SubnetID(child)
-        return wallet.send(
+        signed = wallet.send(
             self.node(child.parent()),
             SCA_ADDRESS,
             method="fund",
             params={"subnet_path": child.path, "to_addr": to.raw},
             value=value,
         )
+        if self.span_tracer is not None and signed is not None:
+            self.span_tracer.note_submit(
+                child.parent().path, child.path, to.raw, value
+            )
+        return signed
 
     def cross_send(
         self,
@@ -276,7 +303,7 @@ class HierarchicalSystem:
         params=None,
     ):
         """Send a general cross-net message from *from_subnet* (§IV-A)."""
-        return wallet.send(
+        signed = wallet.send(
             self.node(from_subnet),
             SCA_ADDRESS,
             method="send_crossmsg",
@@ -288,6 +315,11 @@ class HierarchicalSystem:
             },
             value=value,
         )
+        if self.span_tracer is not None and signed is not None:
+            self.span_tracer.note_submit(
+                SubnetID(from_subnet).path, SubnetID(to_subnet).path, to.raw, value
+            )
+        return signed
 
     # ------------------------------------------------------------------
     # Spawning subnets (§III-A)

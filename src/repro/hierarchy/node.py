@@ -125,8 +125,8 @@ class SubnetNode(NodeRuntime):
         self.crosspool.scan_parent()
         return self.crosspool.select(scratch_vm)
 
-    def apply_cross_message(self, vm: VM, cross, miner: Address) -> None:
-        """Execute one block cross-msg entry against *vm*.
+    def apply_cross_message(self, vm: VM, cross, miner: Address):
+        """Execute one block cross-msg entry against *vm*; returns the receipt.
 
         Failures are deterministic across nodes (same inputs, same state),
         so a failed receipt simply records the refusal; state roots still
@@ -150,6 +150,7 @@ class SubnetNode(NodeRuntime):
         self.sim.metrics.counter(name).inc()
         if not receipt.ok:
             self.sim.trace.emit("crossmsg.apply_failed", self.subnet_id, metric, receipt.error)
+        return receipt
 
     # ------------------------------------------------------------------
     # Window sealing
@@ -161,6 +162,7 @@ class SubnetNode(NodeRuntime):
         the SCA deterministically builds the previous window's checkpoint
         template, using the parent block's CID as the chain ``proof``.
         """
+        events: list = []
         if (
             height > 0
             and height % self.checkpoint_period == 0
@@ -171,9 +173,13 @@ class SubnetNode(NodeRuntime):
                 SYSTEM_ADDRESS, SCA_ADDRESS, "seal_window",
                 {"window": window, "proof_cid": parent_cid},
             )
+            events.extend(receipt.events)
             if not receipt.ok:
                 self.sim.trace.emit(
                     "checkpoint.seal_failed", self.subnet_id,
                     f"window={window}", receipt.error,
                 )
-        super()._execute_payload(vm, messages, cross_messages, miner, height, parent_cid)
+        events.extend(
+            super()._execute_payload(vm, messages, cross_messages, miner, height, parent_cid)
+        )
+        return events

@@ -67,6 +67,9 @@ class NodeRuntime:
         self._orphans: dict[CID, list[FullBlock]] = {}  # parent -> waiting blocks
         self._commit_listeners: list[Callable[[FullBlock], None]] = []
         self._notified: set[CID] = {genesis_block.cid}  # blocks already announced
+        # Protocol events (receipt events) per executed-but-not-yet-committed
+        # block, kept only while a span tracer is installed on the simulator.
+        self._block_events: dict[CID, tuple] = {}
 
         self.engine = make_engine(sim, self, validators, consensus_params)
         # State snapshots are kept for every engine (pruned by depth): even
@@ -185,7 +188,7 @@ class NodeRuntime:
             return False  # state pruned too deep to validate; ignore
         scratch = self._vm_from_state(parent_state)
         scratch.epoch = block.height
-        self._execute_payload(
+        events = self._execute_payload(
             scratch, block.messages, block.cross_messages,
             block.header.miner, block.height, block.header.parent,
         )
@@ -195,6 +198,12 @@ class NodeRuntime:
             return False
 
         self.store.put_state(block.cid, scratch.state.flatten())
+        if self.sim.span_tracer is not None:
+            self._block_events[block.cid] = tuple(events)
+            # Forked/orphaned blocks are never announced, so cap the buffer
+            # rather than letting dead entries accumulate forever.
+            while len(self._block_events) > 4096:
+                self._block_events.pop(next(iter(self._block_events)))
 
         old_head = self.store.head_cid
         head_changed = self.store.add_block(block)
@@ -237,6 +246,12 @@ class NodeRuntime:
                 "block.commit", self.subnet_id,
                 f"h={block.height}", block.cid.short(), f"msgs={len(block.messages)}",
             )
+            tracer = self.sim.span_tracer
+            if tracer is not None:
+                tracer.on_block_commit(
+                    self.subnet_id, self.node_id, block,
+                    self._block_events.pop(block.cid, ()),
+                )
             for listener in self._commit_listeners:
                 listener(block)
         self.mempool.drop_stale(self.vm.nonce_of)
@@ -251,18 +266,29 @@ class NodeRuntime:
     def _execute_payload(
         self, vm: VM, messages, cross_messages, miner: Address,
         height: int, parent_cid: Optional[CID] = None,
-    ) -> None:
-        """Apply a block's payload to *vm* in canonical order."""
+    ) -> list:
+        """Apply a block's payload to *vm* in canonical order.
+
+        Returns the concatenated receipt events of the payload, in
+        execution order — the raw material for commit-time observers
+        (the telemetry span tracer correlates cross-net hops from them).
+        """
+        events: list = []
         if vm.actor_code(REWARD_ACTOR_ADDRESS) == "reward":
-            vm.apply_implicit(
+            receipt = vm.apply_implicit(
                 SYSTEM_ADDRESS, REWARD_ACTOR_ADDRESS, "award", {"miner": miner.raw}
             )
+            events.extend(receipt.events)
         for cross in cross_messages:
-            self.apply_cross_message(vm, cross, miner)
+            receipt = self.apply_cross_message(vm, cross, miner)
+            if receipt is not None:
+                events.extend(receipt.events)
         for signed in messages:
-            vm.apply_message(signed.message, miner=miner)
+            receipt = vm.apply_message(signed.message, miner=miner)
+            events.extend(receipt.events)
+        return events
 
-    def apply_cross_message(self, vm: VM, cross, miner: Address) -> None:
+    def apply_cross_message(self, vm: VM, cross, miner: Address):
         """Hook for the hierarchy node; the base chain has no cross-msgs."""
         raise ValidationError("cross messages are not supported on this chain")
 

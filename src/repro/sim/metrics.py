@@ -11,6 +11,13 @@ import math
 from typing import Callable, Iterable, Optional
 
 
+def _json_safe(value: float) -> Optional[float]:
+    """NaN/inf → None so metric exports stay valid JSON."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
 class Counter:
     """A monotonically increasing counter."""
 
@@ -104,16 +111,32 @@ class Histogram:
     def max(self) -> float:
         return max(self.samples) if self.samples else math.nan
 
+    def merge(self, *others: "Histogram") -> "Histogram":
+        """Fold the samples of *others* into this histogram (in place).
+
+        Used to combine per-node histograms into one system-wide
+        distribution before summarising; returns ``self`` for chaining.
+        """
+        for other in others:
+            self.samples.extend(other.samples)
+        return self
+
     def summary(self) -> dict:
-        """Return a dict of the usual summary statistics."""
+        """Return a dict of the usual summary statistics.
+
+        Undefined statistics (empty histogram, or NaN observations) export
+        as ``None`` rather than NaN so the dict is JSON-serialisable —
+        ``json.dumps`` renders NaN as the invalid token ``NaN``.
+        """
         return {
             "count": self.count,
-            "mean": self.mean(),
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
-            "min": self.min(),
-            "max": self.max(),
+            "mean": _json_safe(self.mean()),
+            "stdev": _json_safe(self.stdev()) if self.count else None,
+            "p50": _json_safe(self.percentile(50)),
+            "p95": _json_safe(self.percentile(95)),
+            "p99": _json_safe(self.percentile(99)),
+            "min": _json_safe(self.min()),
+            "max": _json_safe(self.max()),
         }
 
     def __repr__(self) -> str:

@@ -163,6 +163,11 @@ class Simulator:
         self.metrics = MetricsRegistry(clock=lambda: self.now)
         self.trace = TraceLog(clock=lambda: self.now)
         self.dispatch = DispatchBus(metrics=self.metrics, trace=self.trace)
+        # Slot for a repro.telemetry.SpanTracer (duck-typed so sim/ never
+        # imports the telemetry layer).  None = span tracing disabled; the
+        # tracer writes only to self.metrics, never to the trace log, so
+        # installing one cannot perturb the determinism digest.
+        self.span_tracer = None
         self._events_executed = 0
         self._halted = False
 

@@ -28,19 +28,37 @@ class TraceRecord:
 
 
 class TraceLog:
-    """Append-only log of :class:`TraceRecord` entries."""
+    """Append-only log of :class:`TraceRecord` entries.
+
+    A bounded log (``capacity`` set) never loses records silently: the
+    first overflow appends one ``trace.capacity`` warning record, and every
+    dropped record is counted in :attr:`dropped`.
+    """
 
     def __init__(self, clock: Optional[Callable[[], float]] = None, capacity: Optional[int] = None) -> None:
         self._clock = clock or (lambda: 0.0)
         self.records: list[TraceRecord] = []
         self.capacity = capacity
         self.enabled = True
+        self.dropped = 0
 
     def emit(self, kind: str, subject: str, *detail: Any) -> None:
         """Append a record at the current simulated time."""
         if not self.enabled:
             return
         if self.capacity is not None and len(self.records) >= self.capacity:
+            self.dropped += 1
+            if self.dropped == 1:
+                # One warning record (the log's only overshoot past capacity)
+                # so a truncated log is distinguishable from a complete one.
+                self.records.append(
+                    TraceRecord(
+                        time=self._clock(),
+                        kind="trace.capacity",
+                        subject=f"capacity={self.capacity}",
+                        detail=("further records dropped",),
+                    )
+                )
             return
         record = TraceRecord(
             time=self._clock(),

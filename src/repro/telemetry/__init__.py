@@ -1,0 +1,31 @@
+"""Causal span tracing, health probes and telemetry exporters.
+
+Everything here is an *observer* of the simulation: the tracer and probe
+write only to ``sim.metrics`` (never the trace log) and consume no RNG,
+so enabling telemetry cannot change the determinism digest.  See
+DESIGN.md § Observability.
+"""
+
+from repro.telemetry.export import (
+    telemetry_snapshot,
+    to_chrome_trace,
+    to_prometheus,
+    write_chrome_trace,
+    write_json,
+    write_prometheus,
+)
+from repro.telemetry.health import HealthProbe
+from repro.telemetry.spans import SpanTracer, route_shape, subnet_level
+
+__all__ = [
+    "HealthProbe",
+    "SpanTracer",
+    "route_shape",
+    "subnet_level",
+    "telemetry_snapshot",
+    "to_chrome_trace",
+    "to_prometheus",
+    "write_chrome_trace",
+    "write_json",
+    "write_prometheus",
+]

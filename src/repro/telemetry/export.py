@@ -1,0 +1,242 @@
+"""Telemetry exporters: JSON dump, Prometheus text format, Chrome trace.
+
+Three consumers, three formats:
+
+- :func:`telemetry_snapshot` / :func:`write_json` — one JSON document with
+  everything a post-hoc report needs (metrics, dispatch profile, span and
+  health summaries).  ``python -m repro.telemetry.report`` renders it.
+- :func:`to_prometheus` / :func:`write_prometheus` — Prometheus text
+  exposition (counters, gauges, histogram summaries with quantile labels)
+  for scraping or offline ``promtool`` analysis.
+- :func:`to_chrome_trace` / :func:`write_chrome_trace` — Chrome
+  trace-event JSON loadable in Perfetto (https://ui.perfetto.dev): one
+  track per subnet carrying the cross-net hop spans and checkpoint
+  anchoring spans (simulated time), plus a DispatchBus profile track
+  (wall-clock CPU attribution per event label).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Optional
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def telemetry_snapshot(
+    sim,
+    tracer=None,
+    probe=None,
+    wall_seconds: Optional[float] = None,
+    extra: Optional[dict] = None,
+) -> dict:
+    """One JSON-safe document describing a finished (or running) run."""
+    metrics = sim.metrics
+    snapshot = {
+        "schema": "repro.telemetry/v1",
+        "sim": {
+            "now": sim.now,
+            "events_executed": sim.events_executed,
+            "seed": sim.seed,
+        },
+        "wall_seconds": wall_seconds,
+        "counters": {n: c.value for n, c in sorted(metrics.counters.items())},
+        "gauges": {n: g.value for n, g in sorted(metrics.gauges.items())},
+        "histograms": {n: h.summary() for n, h in sorted(metrics.histograms.items())},
+        "series": {
+            n: {
+                "points": len(s.points),
+                "first": list(s.points[0]) if s.points else None,
+                "last": list(s.points[-1]) if s.points else None,
+            }
+            for n, s in sorted(metrics.series.items())
+        },
+        "dispatch": sim.dispatch.summary(),
+        "trace_log": {"records": len(sim.trace), "dropped": sim.trace.dropped},
+    }
+    if tracer is not None:
+        snapshot["spans"] = tracer.summary()
+    if probe is not None:
+        snapshot["health"] = {path: dict(s) for path, s in sorted(probe.latest.items())}
+    if extra:
+        snapshot["extra"] = extra
+    return snapshot
+
+
+def write_json(path: str, snapshot: dict) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=False, allow_nan=False)
+        handle.write("\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    cleaned = _NAME_RE.sub("_", name)
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] in "_:"):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def to_prometheus(sim) -> str:
+    """Render the sim's metrics registry in Prometheus text format."""
+    metrics = sim.metrics
+    lines: list[str] = []
+    emitted: set = set()
+
+    def emit(name: str, kind: str, body: list) -> None:
+        if name in emitted:  # sanitisation collision: keep the first
+            return
+        emitted.add(name)
+        lines.append(f"# TYPE {name} {kind}")
+        lines.extend(body)
+
+    for raw, counter in sorted(metrics.counters.items()):
+        name = _prom_name(raw)
+        emit(name, "counter", [f"{name} {counter.value}"])
+    for raw, gauge in sorted(metrics.gauges.items()):
+        name = _prom_name(raw)
+        emit(name, "gauge", [f"{name} {_fmt(gauge.value)}"])
+    for raw, histogram in sorted(metrics.histograms.items()):
+        name = _prom_name(raw)
+        summary = histogram.summary()
+        body = []
+        for label, quantile in (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99")):
+            value = summary[label]
+            if value is not None:
+                body.append(f'{name}{{quantile="{quantile}"}} {_fmt(value)}')
+        body.append(f"{name}_count {summary['count']}")
+        body.append(f"{name}_sum {_fmt(histogram.total)}")
+        emit(name, "summary", body)
+    for raw, series in sorted(metrics.series.items()):
+        name = _prom_name(raw)
+        if series.points:
+            emit(name, "gauge", [f"{name} {_fmt(series.points[-1][1])}"])
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def write_prometheus(path: str, sim) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_prometheus(sim))
+    return path
+
+
+# ----------------------------------------------------------------------
+# Chrome trace events (Perfetto)
+# ----------------------------------------------------------------------
+_SUBNET_PID = 1
+_DISPATCH_PID = 2
+
+
+def to_chrome_trace(sim, tracer=None, top_dispatch: int = 16) -> dict:
+    """Chrome trace-event JSON: subnet span tracks + a dispatch profile.
+
+    Cross-net/checkpoint spans use **simulated** microseconds; the
+    dispatch track lays each label's cumulative **wall-clock** time
+    end-to-end (a profile, not a timeline).
+    """
+    events: list[dict] = []
+    events.append(_meta(_SUBNET_PID, "process_name", name="subnets (simulated time)"))
+
+    if tracer is not None:
+        subnets: set = set()
+        for span_events in tracer.traces.values():
+            subnets.update(event.subnet for event in span_events)
+        for entry in tracer.checkpoints.values():
+            subnets.update(
+                entry[k] for k in ("source", "parent") if entry.get(k) is not None
+            )
+        tids = {path: i + 1 for i, path in enumerate(sorted(subnets))}
+        for path, tid in tids.items():
+            events.append(_meta(_SUBNET_PID, "thread_name", tid=tid, name=path))
+
+        for trace_id in sorted(tracer.traces):
+            span_events = tracer.traces[trace_id]
+            info = tracer.trace_info.get(trace_id, {})
+            for prev, cur in zip(span_events, span_events[1:]):
+                events.append({
+                    "name": f"{prev.subnet} → {cur.subnet} ({cur.phase})",
+                    "cat": "xnet",
+                    "ph": "X",
+                    "ts": prev.time * 1e6,
+                    "dur": max((cur.time - prev.time) * 1e6, 1.0),
+                    "pid": _SUBNET_PID,
+                    "tid": tids[cur.subnet],
+                    "args": {
+                        "trace": trace_id[:16],
+                        "value": info.get("value"),
+                        "to_subnet": info.get("to_subnet"),
+                    },
+                })
+            last = span_events[-1]
+            events.append({
+                "name": f"xnet.{last.phase}",
+                "cat": "xnet",
+                "ph": "i",
+                "s": "t",
+                "ts": last.time * 1e6,
+                "pid": _SUBNET_PID,
+                "tid": tids[last.subnet],
+                "args": {"trace": trace_id[:16]},
+            })
+
+        for ckpt_hex in sorted(tracer.checkpoints):
+            entry = tracer.checkpoints[ckpt_hex]
+            sealed, committed = entry.get("sealed"), entry.get("committed")
+            source = entry.get("source")
+            if sealed is None or committed is None or source not in tids:
+                continue
+            events.append({
+                "name": f"checkpoint w{entry.get('window')}",
+                "cat": "checkpoint",
+                "ph": "X",
+                "ts": sealed * 1e6,
+                "dur": max((committed - sealed) * 1e6, 1.0),
+                "pid": _SUBNET_PID,
+                "tid": tids[source],
+                "args": {"cid": ckpt_hex[:16], "parent": entry.get("parent")},
+            })
+
+    events.append(_meta(_DISPATCH_PID, "process_name", name="dispatch profile (wall clock)"))
+    events.append(_meta(_DISPATCH_PID, "thread_name", tid=1, name="cumulative wall time"))
+    offset = 0.0
+    for row in sim.dispatch.summary()[:top_dispatch]:
+        duration = max(row["wall_s"] * 1e6, 1.0)
+        events.append({
+            "name": row["label"],
+            "cat": "dispatch",
+            "ph": "X",
+            "ts": offset,
+            "dur": duration,
+            "pid": _DISPATCH_PID,
+            "tid": 1,
+            "args": {"events": row["events"], "mean_us": row["mean_s"] * 1e6},
+        })
+        offset += duration
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _meta(pid: int, kind: str, tid: int = 0, name: str = "") -> dict:
+    return {
+        "name": kind,
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def write_chrome_trace(path: str, sim, tracer=None, top_dispatch: int = 16) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(sim, tracer, top_dispatch), handle, allow_nan=False)
+        handle.write("\n")
+    return path

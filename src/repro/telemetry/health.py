@@ -1,0 +1,86 @@
+"""Periodic per-subnet health sampling.
+
+:class:`HealthProbe` rides the simulator's ``every()`` timer and samples
+each subnet's vital signs onto :class:`~repro.sim.metrics.TimeSeries`:
+
+- ``health.<subnet>.height`` — chain height of a representative node;
+- ``health.<subnet>.mempool`` — pending user messages;
+- ``health.<subnet>.pending_crossmsgs`` — cross-msg pool depth
+  (unapplied top-down messages + unresolved bottom-up metas);
+- ``health.<subnet>.checkpoint_lag`` — windows sealed locally but not yet
+  recorded by the parent's SA (0 = fully anchored).
+
+Sampling is read-only: it never touches chain state, RNG streams or the
+trace log, so enabling the probe cannot change the determinism digest.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hierarchy.gateway import SCA_ADDRESS
+
+FIELDS = ("height", "mempool", "pending_crossmsgs", "checkpoint_lag")
+
+
+class HealthProbe:
+    """Samples per-subnet health onto the sim's metrics time series."""
+
+    def __init__(self, system, interval: float = 1.0) -> None:
+        self.system = system
+        self.sim = system.sim
+        self.interval = interval
+        self.latest: dict[str, dict] = {}
+        self._stop = None
+
+    def start(self) -> "HealthProbe":
+        if self._stop is None:
+            self._stop = self.sim.every(
+                self.interval, self.sample, label="telemetry:health", on_error="log"
+            )
+        return self
+
+    def stop(self) -> None:
+        if self._stop is not None:
+            self._stop()
+            self._stop = None
+
+    # ------------------------------------------------------------------
+    def sample(self) -> dict:
+        """Take one sample of every subnet; returns {path: sample}."""
+        now = self.sim.now
+        metrics = self.sim.metrics
+        for subnet in sorted(self.system.nodes_by_subnet):
+            node = self.system.nodes_by_subnet[subnet][0]
+            path = subnet.path
+            crosspool = getattr(node, "crosspool", None)
+            pending = 0
+            if crosspool is not None:
+                pending = crosspool.pending_topdown + crosspool.pending_bottomup
+            sample = {
+                "time": now,
+                "height": node.head().height,
+                "mempool": len(node.mempool),
+                "pending_crossmsgs": pending,
+                "checkpoint_lag": self._checkpoint_lag(node),
+            }
+            self.latest[path] = sample
+            for field in FIELDS:
+                value = sample[field]
+                if value is not None:
+                    metrics.timeseries(f"health.{path}.{field}").record(now, value)
+        return self.latest
+
+    def _checkpoint_lag(self, node) -> Optional[int]:
+        """Windows this subnet has sealed beyond what its parent recorded."""
+        parent = getattr(node, "parent_node", None)
+        service = getattr(node, "checkpoints", None)
+        if parent is None or service is None:
+            return None  # the rootnet anchors to nothing
+        sealed = node.vm.state.get(
+            f"actor/{SCA_ADDRESS.raw}/last_window_sealed", -1
+        )
+        committed = parent.vm.state.get(
+            f"actor/{service.config.sa_addr}/last_ckpt_window", -1
+        )
+        return max(sealed - committed, 0)

@@ -1,0 +1,171 @@
+"""Run-report CLI: ``python -m repro.telemetry.report <dump.json>``.
+
+Renders a human-readable summary from a telemetry JSON dump produced by
+:func:`repro.telemetry.export.telemetry_snapshot` / ``write_json`` (the
+benchmarks write one next to their ``BENCH_*.json``): per-hop cross-net
+latency percentiles by hierarchy level and direction, end-to-end latency
+by route shape, checkpoint anchoring lag, the hottest dispatch labels,
+and the final health sample of every subnet.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.report import Table
+
+_HOP_PREFIXES = (
+    ("xnet.hop.submit.", "submit"),
+    ("xnet.hop.topdown.", "topdown"),
+    ("xnet.hop.bottomup.", "bottomup"),
+)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    return value
+
+
+def _latency_rows(histograms: dict) -> list:
+    """(kind, level, summary) rows for every per-level hop histogram."""
+    rows = []
+    for name in sorted(histograms):
+        for prefix, kind in _HOP_PREFIXES:
+            if name.startswith(prefix) and name[len(prefix):].startswith("L"):
+                rows.append((kind, name[len(prefix):], histograms[name]))
+    return rows
+
+
+def render(snapshot: dict) -> str:
+    sections = []
+    sim = snapshot.get("sim", {})
+    header = (
+        f"telemetry report — sim time {sim.get('now', '?')}s, "
+        f"{sim.get('events_executed', '?')} events, seed {sim.get('seed', '?')}"
+    )
+    if snapshot.get("wall_seconds") is not None:
+        header += f", wall {snapshot['wall_seconds']:.2f}s"
+    sections.append(header)
+
+    spans = snapshot.get("spans")
+    if spans:
+        sections.append(
+            f"cross-net spans: {spans.get('traces', 0)} traced, "
+            f"{spans.get('delivered', 0)} delivered, "
+            f"{spans.get('failed', 0)} failed, "
+            f"{spans.get('in_flight', 0)} in flight; "
+            f"{spans.get('checkpoints', 0)} checkpoints observed"
+        )
+
+    histograms = snapshot.get("histograms", {})
+
+    hop_rows = _latency_rows(histograms)
+    if hop_rows:
+        table = Table(
+            "cross-net hop latency by hierarchy level (simulated seconds)",
+            ["hop", "level", "count", "p50", "p95", "p99", "max"],
+        )
+        for kind, level, summary in hop_rows:
+            table.add_row(
+                kind, level, summary["count"], _fmt(summary["p50"]),
+                _fmt(summary["p95"]), _fmt(summary["p99"]), _fmt(summary["max"]),
+            )
+        sections.append(table.render())
+
+    e2e = {
+        name[len("xnet.e2e."):]: histograms[name]
+        for name in sorted(histograms)
+        if name.startswith("xnet.e2e.")
+    }
+    if e2e:
+        table = Table(
+            "end-to-end cross-net latency by route shape (simulated seconds)",
+            ["route", "count", "p50", "p95", "p99", "max"],
+        )
+        for shape, summary in e2e.items():
+            table.add_row(
+                shape, summary["count"], _fmt(summary["p50"]),
+                _fmt(summary["p95"]), _fmt(summary["p99"]), _fmt(summary["max"]),
+            )
+        sections.append(table.render())
+
+    ckpt = {
+        name: histograms[name]
+        for name in sorted(histograms)
+        if name.startswith("checkpoint.lag") or name.startswith("checkpoint.hop.")
+    }
+    if ckpt:
+        table = Table(
+            "checkpoint anchoring (simulated seconds)",
+            ["metric", "count", "p50", "p95", "p99", "max"],
+        )
+        for name, summary in ckpt.items():
+            table.add_row(
+                name, summary["count"], _fmt(summary["p50"]),
+                _fmt(summary["p95"]), _fmt(summary["p99"]), _fmt(summary["max"]),
+            )
+        sections.append(table.render())
+
+    dispatch = snapshot.get("dispatch") or []
+    if dispatch:
+        table = Table(
+            "hottest dispatch labels (wall clock)",
+            ["label", "events", "wall_s", "mean_us"],
+        )
+        for row in dispatch[:10]:
+            table.add_row(
+                row["label"], row["events"], row["wall_s"], row["mean_s"] * 1e6
+            )
+        sections.append(table.render())
+
+    health = snapshot.get("health")
+    if health:
+        table = Table(
+            "final health sample per subnet",
+            ["subnet", "height", "mempool", "pending xnet", "ckpt lag"],
+        )
+        for path in sorted(health):
+            sample = health[path]
+            table.add_row(
+                path, sample.get("height"), sample.get("mempool"),
+                sample.get("pending_crossmsgs"), _fmt(sample.get("checkpoint_lag")),
+            )
+        sections.append(table.render())
+
+    log = snapshot.get("trace_log")
+    if log:
+        line = f"trace log: {log.get('records', 0)} records"
+        if log.get("dropped"):
+            line += f" ({log['dropped']} dropped at capacity)"
+        sections.append(line)
+
+    return "\n\n".join(sections)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.report",
+        description="Render a run summary from a telemetry JSON dump.",
+    )
+    parser.add_argument("dump", help="path to a telemetry JSON dump (see repro.telemetry.export.write_json)")
+    args = parser.parse_args(argv)
+    try:
+        with open(args.dump, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read telemetry dump {args.dump!r}: {exc}", file=sys.stderr)
+        return 1
+    if snapshot.get("schema") != "repro.telemetry/v1":
+        print(
+            f"warning: unrecognised schema {snapshot.get('schema')!r}; "
+            "rendering best-effort", file=sys.stderr,
+        )
+    print(render(snapshot))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -64,6 +64,41 @@ def test_histogram_stdev():
     assert single.stdev() == 0.0
 
 
+def test_histogram_summary_is_json_safe_when_empty():
+    import json
+
+    summary = Histogram("h").summary()
+    assert summary["count"] == 0
+    for key in ("mean", "stdev", "p50", "p95", "p99", "min", "max"):
+        assert summary[key] is None
+    json.dumps(summary, allow_nan=False)  # must not raise
+
+
+def test_histogram_summary_values_round_trip():
+    import json
+
+    histogram = Histogram("h")
+    histogram.observe_many([1.0, 2.0, 3.0])
+    summary = histogram.summary()
+    assert summary["count"] == 3
+    assert summary["mean"] == pytest.approx(2.0)
+    assert summary["p50"] == pytest.approx(2.0)
+    json.dumps(summary, allow_nan=False)
+
+
+def test_histogram_merge_combines_samples():
+    a = Histogram("a")
+    a.observe_many([1.0, 2.0])
+    b = Histogram("b")
+    b.observe_many([3.0, 4.0])
+    c = Histogram("c")
+    merged = a.merge(b, c)
+    assert merged is a
+    assert a.count == 4
+    assert a.mean() == pytest.approx(2.5)
+    assert b.count == 2  # sources untouched
+
+
 def test_timeseries_rate():
     series = TimeSeries("t")
     for t in range(11):

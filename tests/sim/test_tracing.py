@@ -47,7 +47,35 @@ def test_capacity_limits_records():
     log = TraceLog(capacity=2)
     for i in range(5):
         log.emit("k", "s", i)
-    assert len(log) == 2
+    # 2 real records + the one-time capacity warning marker.
+    assert len(log) == 3
+    assert log.dropped == 3
+
+
+def test_capacity_drop_is_counted_and_announced_once():
+    log = TraceLog(capacity=1)
+    log.emit("k", "s", "kept")
+    assert log.dropped == 0
+    for i in range(4):
+        log.emit("k", "s", i)
+    assert log.dropped == 4
+    warnings = list(log.filter(kind="trace.capacity"))
+    assert len(warnings) == 1
+    assert warnings[0].subject == "capacity=1"
+    # The kept record is untouched and the digest stays stable under
+    # further over-capacity emits.
+    digest = log.digest()
+    log.emit("k", "s", "late")
+    assert log.dropped == 5
+    assert log.digest() == digest
+
+
+def test_unbounded_log_never_drops():
+    log = TraceLog()
+    for i in range(100):
+        log.emit("k", "s", i)
+    assert log.dropped == 0
+    assert log.count("trace.capacity") == 0
 
 
 def test_disabled_log_drops_records():
@@ -55,6 +83,7 @@ def test_disabled_log_drops_records():
     log.enabled = False
     log.emit("k", "s")
     assert len(log) == 0
+    assert log.dropped == 0  # disabled is intentional, not capacity pressure
 
 
 def test_identical_simulations_have_identical_digests():

@@ -1,0 +1,152 @@
+"""Exporter golden files + report CLI.
+
+The scenario is synthetic — the tracer is fed hand-written observations at
+hand-set simulated times, with no scheduled events — so every exporter
+output is byte-deterministic and can be compared against a golden file.
+Regenerate with ``UPDATE_GOLDENS=1 pytest tests/telemetry/test_exporters.py``.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.sim.scheduler import Simulator
+from repro.telemetry import (
+    SpanTracer,
+    telemetry_snapshot,
+    to_chrome_trace,
+    to_prometheus,
+    write_json,
+)
+from repro.telemetry.report import main as report_main
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+MSG_A = "aa" * 16
+MSG_B = "bb" * 16
+CKPT = "cc" * 16
+
+
+def _synthetic():
+    """One delivered top-down transfer, one failed bottom-up message, one
+    fully-anchored checkpoint — all at hand-picked simulated times."""
+    sim = Simulator(seed=5)
+    tracer = SpanTracer(sim).install()
+
+    sim.now = 1.0
+    tracer.note_submit("/root", "/root/a", "addr-1", 100)
+    sim.now = 2.0
+    tracer.on_block_commit("/root", "n0", None, [
+        ("crossmsg.topdown", ("/root/a", 0, 100, MSG_A, "/root/a", "addr-1", "user")),
+    ])
+    sim.now = 3.5
+    tracer.on_block_commit("/root/a", "m0", None, [
+        ("crossmsg.delivered", ("addr-1", 100, MSG_A)),
+        ("checkpoint.sealed", (0, CKPT)),
+    ])
+    sim.now = 3.75
+    tracer.checkpoint_submitted(CKPT, "/root/a", 0)
+    sim.now = 4.5
+    tracer.on_block_commit("/root", "n0", None, [
+        ("checkpoint.committed", ("/root/a", CKPT)),
+    ])
+    sim.now = 5.0
+    tracer.on_block_commit("/root/a", "m0", None, [
+        ("crossmsg.bottomup", (0, 0, 50, MSG_B, "/root", "addr-2", "user")),
+    ])
+    sim.now = 6.0
+    tracer.on_block_commit("/root", "n0", None, [
+        ("crossmsg.failed", ("addr-2", "out of gas", MSG_B)),
+    ])
+
+    sim.metrics.gauge("demo.gauge").set(2.5)
+    sim.metrics.histogram("demo.empty")  # summary must export as nulls
+    series = sim.metrics.timeseries("demo.series")
+    series.record(1.0, 1.0)
+    series.record(2.0, 3.0)
+    return sim, tracer
+
+
+def _check_golden(name: str, text: str) -> None:
+    path = GOLDEN_DIR / name
+    if os.environ.get("UPDATE_GOLDENS"):
+        path.parent.mkdir(exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+    golden = path.read_text(encoding="utf-8")
+    assert text == golden, f"{name} drifted from golden (UPDATE_GOLDENS=1 to accept)"
+
+
+def test_prometheus_golden():
+    sim, _tracer = _synthetic()
+    _check_golden("synthetic.prom", to_prometheus(sim))
+
+
+def test_chrome_trace_golden():
+    sim, tracer = _synthetic()
+    document = to_chrome_trace(sim, tracer)
+    _check_golden(
+        "synthetic_trace.json",
+        json.dumps(document, indent=2, allow_nan=False) + "\n",
+    )
+
+
+def test_chrome_trace_shape():
+    sim, tracer = _synthetic()
+    document = to_chrome_trace(sim, tracer)
+    events = document["traceEvents"]
+    spans = [e for e in events if e["ph"] == "X" and e.get("cat") == "xnet"]
+    # submit→enqueue and enqueue→deliver of MSG_A, enqueue→fail of MSG_B
+    assert len(spans) == 3
+    assert all(e["dur"] > 0 for e in spans)
+    ckpt = [e for e in events if e.get("cat") == "checkpoint"]
+    assert len(ckpt) == 1
+    assert ckpt[0]["dur"] == (4.5 - 3.5) * 1e6
+    # One named track per subnet appearing in any span.
+    names = {
+        e["args"]["name"] for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name" and e["pid"] == 1
+    }
+    assert names == {"/root", "/root/a"}
+
+
+def test_snapshot_json_round_trip(tmp_path):
+    sim, tracer = _synthetic()
+    snapshot = telemetry_snapshot(sim, tracer=tracer, wall_seconds=0.5)
+    path = write_json(str(tmp_path / "dump.json"), snapshot)
+    loaded = json.loads(Path(path).read_text(encoding="utf-8"))
+    assert loaded["schema"] == "repro.telemetry/v1"
+    assert loaded["spans"] == {
+        "traces": 2, "delivered": 1, "failed": 1, "in_flight": 0, "checkpoints": 1,
+    }
+    assert loaded["histograms"]["demo.empty"]["mean"] is None
+    assert loaded["histograms"]["xnet.e2e.topdown"]["count"] == 1
+    assert loaded["counters"]["xnet.spans.failed"] == 1
+    assert loaded["gauges"]["demo.gauge"] == 2.5
+    assert loaded["series"]["demo.series"] == {
+        "points": 2, "first": [1.0, 1.0], "last": [2.0, 3.0],
+    }
+
+
+def test_prometheus_sanitizes_names():
+    sim, _tracer = _synthetic()
+    sim.metrics.counter("weird.name-with/slash").inc()
+    text = to_prometheus(sim)
+    assert "weird_name_with_slash 1" in text
+    assert "weird.name" not in text
+
+
+def test_report_cli_renders_dump(tmp_path, capsys):
+    sim, tracer = _synthetic()
+    path = str(tmp_path / "dump.json")
+    write_json(path, telemetry_snapshot(sim, tracer=tracer))
+    assert report_main([path]) == 0
+    out = capsys.readouterr().out
+    assert "cross-net spans: 2 traced, 1 delivered, 1 failed" in out
+    assert "cross-net hop latency by hierarchy level" in out
+    assert "topdown" in out and "L1" in out
+    assert "checkpoint.lag" in out
+
+
+def test_report_cli_missing_file(tmp_path, capsys):
+    assert report_main([str(tmp_path / "absent.json")]) == 1
+    assert "cannot read" in capsys.readouterr().err
