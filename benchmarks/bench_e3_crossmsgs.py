@@ -27,7 +27,7 @@ from repro.telemetry import (
 )
 
 import common
-from common import bench_out_dir, capture_sim, run_once, show_table, write_bench_json
+from common import bench_out_dir, capture_system, run_once, show_table, write_bench_json
 
 BLOCK_TIME = 0.25
 PERIOD = 8  # 2.0s windows
@@ -44,9 +44,12 @@ def _build_deep_system():
         checkpoint_period=PERIOD, wallet_funds={"driver": 10**12},
     ).start()
     # E3 is the telemetry flagship: causal spans for every cross-net
-    # transfer below, plus per-subnet health samples.
-    system.enable_telemetry(health_interval=2.0)
-    capture_sim(system.sim)
+    # transfer below, per-subnet health samples, and live invariant
+    # monitors (an honest run must finish with zero violations).
+    system.enable_telemetry(
+        health_interval=2.0, monitors=True, postmortem_dir=bench_out_dir()
+    )
+    capture_system(system)
     _SYSTEM = system
     parent = ROOTNET
     chain = []
@@ -140,6 +143,7 @@ def test_e3_crossmsg_latency_vs_depth(benchmark):
     write_bench_json("e3_crossmsgs", rows=rows)
     dump = telemetry_snapshot(
         system.sim, tracer=tracer, probe=system.health_probe,
+        monitor=system.invariant_monitor,
         wall_seconds=common.LAST_WALL_SECONDS,
     )
     write_json(os.path.join(out, "TELEMETRY_e3.json"), dump)
@@ -149,6 +153,8 @@ def test_e3_crossmsg_latency_vs_depth(benchmark):
     assert tracer.delivered_count() >= len(rows), "every transfer should be spanned"
     assert dump["histograms"].get("xnet.hop.topdown.L1", {}).get("count", 0) > 0
     assert dump["histograms"].get("checkpoint.lag", {}).get("count", 0) > 0
+    # An honest deep-hierarchy run trips no live invariant.
+    assert dump["invariants"]["violations"] == 0, system.invariant_monitor.summary()
 
     by = {(r["kind"], r["depth"]): r["latency"] for r in rows}
     # Everything arrived.

@@ -48,11 +48,14 @@ def _hc_attack_rows():
         system.run_for(60.0)
         extracted = system.balance(ROOTNET, attacker)
         audit = audit_system(system)
+        monitor = system.invariant_monitor
         rows.append({
             "claimed": supply * multiplier,
             "supply": supply,
             "extracted": extracted,
             "audit_ok": audit.ok,
+            # The live supply auditor must notice every forged extraction.
+            "violations": len(monitor.violations_for("supply")),
         })
     return rows
 
@@ -83,9 +86,11 @@ def test_e6_firewall_vs_sharding(benchmark):
     show_table(
         "E6a — HC compromised subnet: forged claim vs extracted value "
         f"(genuine circulating supply ≈ {INJECTED})",
-        ["claimed value", "circulating supply", "extracted", "supply invariants hold"],
+        ["claimed value", "circulating supply", "extracted",
+         "supply invariants hold", "live violations"],
         [
-            (row["claimed"], row["supply"], row["extracted"], row["audit_ok"])
+            (row["claimed"], row["supply"], row["extracted"], row["audit_ok"],
+             row["violations"])
             for row in hc_rows
         ],
     )
@@ -97,10 +102,12 @@ def test_e6_firewall_vs_sharding(benchmark):
     )
 
     write_bench_json("e6_firewall", rows={"hc": hc_rows, "sharding": shard_rows})
-    # HC: extraction never exceeds the circulating supply, for any claim.
+    # HC: extraction never exceeds the circulating supply, for any claim,
+    # and the live supply monitor flags every forged extraction as it runs.
     for row in hc_rows:
         assert row["extracted"] <= row["supply"]
         assert row["audit_ok"]
+        assert row["violations"] > 0, "supply monitor missed the attack"
     # The bound is tight: the attacker does drain what was genuinely there.
     assert any(row["extracted"] >= row["supply"] * 0.9 for row in hc_rows)
     # Sharding: compromise probability grows with shards and adversary size.

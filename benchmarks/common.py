@@ -22,6 +22,7 @@ from repro.workloads import PaymentWorkload
 # run without every experiment function having to thread them through.
 LAST_WALL_SECONDS = None
 LAST_SIM = None
+LAST_SYSTEM = None
 
 
 def capture_sim(sim):
@@ -35,13 +36,32 @@ def capture_sim(sim):
     return sim
 
 
+def capture_system(system):
+    """Remember *system* so a crashing bench can dump a postmortem bundle."""
+    global LAST_SYSTEM
+    LAST_SYSTEM = system
+    capture_sim(system.sim)
+    return system
+
+
 def run_once(benchmark, fn):
-    """Run an experiment exactly once under pytest-benchmark timing."""
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    If the experiment raises and the last captured system has a flight
+    recorder, a postmortem bundle is dumped before the error propagates —
+    the crash site's recent history lands next to the BENCH artifacts.
+    """
 
     def timed():
         global LAST_WALL_SECONDS
         started = time.perf_counter()
-        result = fn()
+        try:
+            result = fn()
+        except BaseException:
+            recorder = getattr(LAST_SYSTEM, "flight_recorder", None)
+            if recorder is not None:
+                recorder.dump(reason="benchmark-exception")
+            raise
         LAST_WALL_SECONDS = time.perf_counter() - started
         return result
 
@@ -144,8 +164,13 @@ def build_hierarchy(
     max_block_messages: int = 500,
     root_block_time: float = 0.5,
     wallet_funds=None,
+    monitors: bool = True,
 ):
-    """A rootnet plus *n_subnets* sibling subnets, started."""
+    """A rootnet plus *n_subnets* sibling subnets, started.
+
+    Benchmarks run with live invariant monitors on by default (digest- and
+    latency-neutral); postmortem bundles land in the bench output dir.
+    """
     system = HierarchicalSystem(
         seed=seed,
         root_validators=3,
@@ -153,7 +178,9 @@ def build_hierarchy(
         checkpoint_period=checkpoint_period,
         wallet_funds=wallet_funds or {},
     ).start()
-    capture_sim(system.sim)
+    capture_system(system)
+    if monitors:
+        system.enable_telemetry(monitors=True, postmortem_dir=bench_out_dir())
     subnets = []
     for i in range(n_subnets):
         subnets.append(

@@ -121,6 +121,8 @@ class HierarchicalSystem:
         self._started = False
         self.span_tracer = None
         self.health_probe = None
+        self.invariant_monitor = None
+        self.flight_recorder = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -209,8 +211,21 @@ class HierarchicalSystem:
     # ------------------------------------------------------------------
     # Telemetry (opt-in; digest-neutral — see DESIGN.md § Observability)
     # ------------------------------------------------------------------
-    def enable_telemetry(self, health_interval: Optional[float] = None):
-        """Install causal span tracing (and, optionally, health sampling).
+    def enable_telemetry(
+        self,
+        health_interval: Optional[float] = None,
+        monitors: bool = False,
+        postmortem_dir: Optional[str] = None,
+    ):
+        """Install causal span tracing (and, optionally, health sampling
+        and live invariant monitors).
+
+        ``monitors=True`` additionally installs the
+        :class:`~repro.telemetry.monitor.InvariantMonitor` (all five
+        default auditors) and a
+        :class:`~repro.telemetry.recorder.FlightRecorder` that dumps a
+        postmortem bundle into *postmortem_dir* (or ``$REPRO_POSTMORTEM_DIR``)
+        on every violation.  All of it is digest-neutral.
 
         Imported lazily so the hierarchy layer carries no telemetry
         dependency unless a run asks for it.  Idempotent; returns the
@@ -224,6 +239,17 @@ class HierarchicalSystem:
             from repro.telemetry import HealthProbe
 
             self.health_probe = HealthProbe(self, interval=health_interval).start()
+        if monitors and self.invariant_monitor is None:
+            from repro.telemetry import FlightRecorder, InvariantMonitor
+
+            self.flight_recorder = FlightRecorder(
+                self.sim, system=self, out_dir=postmortem_dir
+            ).install()
+            self.invariant_monitor = InvariantMonitor(
+                self, recorder=self.flight_recorder
+            ).install()
+            if self.health_probe is not None:
+                self.health_probe.on_sample(self.flight_recorder.note_health)
         return self.span_tracer
 
     # ------------------------------------------------------------------

@@ -68,7 +68,8 @@ class NodeRuntime:
         self._commit_listeners: list[Callable[[FullBlock], None]] = []
         self._notified: set[CID] = {genesis_block.cid}  # blocks already announced
         # Protocol events (receipt events) per executed-but-not-yet-committed
-        # block, kept only while a span tracer is installed on the simulator.
+        # block, kept only while a commit-time observer (span tracer or
+        # invariant monitor) is installed on the simulator.
         self._block_events: dict[CID, tuple] = {}
 
         self.engine = make_engine(sim, self, validators, consensus_params)
@@ -198,7 +199,7 @@ class NodeRuntime:
             return False
 
         self.store.put_state(block.cid, scratch.state.flatten())
-        if self.sim.span_tracer is not None:
+        if self.sim.span_tracer is not None or self.sim.invariant_monitor is not None:
             self._block_events[block.cid] = tuple(events)
             # Forked/orphaned blocks are never announced, so cap the buffer
             # rather than letting dead entries accumulate forever.
@@ -226,6 +227,17 @@ class NodeRuntime:
             self.sim.trace.emit(
                 "chain.reorg", self.subnet_id, old_head.short(), new_head.short()
             )
+            # Depth = abandoned blocks of the old branch (back to the fork
+            # point, which is canonical again by now).
+            depth = 0
+            for block in self.store.ancestors(old_head):
+                if self.store.is_canonical(block.cid):
+                    break
+                depth += 1
+            self.sim.metrics.histogram(f"chain.{self.subnet_id}.reorg.depth").observe(depth)
+            monitor = self.sim.invariant_monitor
+            if monitor is not None:
+                monitor.on_reorg(self, old_head, new_head_block, depth)
         # Newly canonical segment, oldest first.  Each block is announced to
         # commit listeners at most once ever, even across reorgs (listeners
         # receive no "un-commit" signal; fork-capable engines therefore act
@@ -247,11 +259,13 @@ class NodeRuntime:
                 f"h={block.height}", block.cid.short(), f"msgs={len(block.messages)}",
             )
             tracer = self.sim.span_tracer
-            if tracer is not None:
-                tracer.on_block_commit(
-                    self.subnet_id, self.node_id, block,
-                    self._block_events.pop(block.cid, ()),
-                )
+            monitor = self.sim.invariant_monitor
+            if tracer is not None or monitor is not None:
+                events = self._block_events.pop(block.cid, ())
+                if tracer is not None:
+                    tracer.on_block_commit(self.subnet_id, self.node_id, block, events)
+                if monitor is not None:
+                    monitor.on_block_commit(self, block, events)
             for listener in self._commit_listeners:
                 listener(block)
         self.mempool.drop_stale(self.vm.nonce_of)

@@ -159,8 +159,18 @@ class TimeSeries:
     def times(self) -> list[float]:
         return [t for t, _ in self.points]
 
-    def rate(self, window: Optional[tuple[float, float]] = None) -> float:
-        """Events per second: count of points over the covered interval."""
+    def rate(self, window: Optional[tuple[float, float]] = None) -> Optional[float]:
+        """Events per second: count of points over the covered interval.
+
+        Degenerate inputs return ``None`` (JSON null) rather than a fake
+        0.0, NaN or a ZeroDivisionError — matching ``Histogram.summary()``:
+        an empty series, fewer than two points without an explicit window,
+        or a window of non-positive span have no defined rate.  A genuine
+        zero (a positive-span window covering no points of a non-empty
+        series) still reads 0.0.
+        """
+        if not self.points:
+            return None
         points = self.points
         if window is not None:
             lo, hi = window
@@ -168,10 +178,10 @@ class TimeSeries:
             span = hi - lo
         else:
             if len(points) < 2:
-                return 0.0
+                return None
             span = points[-1][0] - points[0][0]
         if span <= 0:
-            return 0.0
+            return None
         return len(points) / span
 
 
@@ -214,10 +224,15 @@ class MetricsRegistry:
         self.timeseries(name).record(self.now, value)
 
     def snapshot(self) -> dict:
-        """Return all metric values as plain data (for reports/tests)."""
+        """Return all metric values as plain JSON-safe data.
+
+        Gauge values pass through :func:`_json_safe` so a NaN/inf gauge
+        becomes null instead of poisoning ``json.dumps`` consumers —
+        histograms already get this via ``Histogram.summary()``.
+        """
         return {
             "counters": {n: c.value for n, c in self.counters.items()},
-            "gauges": {n: g.value for n, g in self.gauges.items()},
+            "gauges": {n: _json_safe(g.value) for n, g in self.gauges.items()},
             "histograms": {n: h.summary() for n, h in self.histograms.items()},
             "series": {n: len(s.points) for n, s in self.series.items()},
         }

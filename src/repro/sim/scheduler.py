@@ -168,6 +168,9 @@ class Simulator:
         # tracer writes only to self.metrics, never to the trace log, so
         # installing one cannot perturb the determinism digest.
         self.span_tracer = None
+        # Sibling slot for a repro.telemetry.InvariantMonitor, under the
+        # same contract: duck-typed, metrics-only, digest-neutral.
+        self.invariant_monitor = None
         self._events_executed = 0
         self._halted = False
 

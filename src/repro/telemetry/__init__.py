@@ -1,9 +1,9 @@
-"""Causal span tracing, health probes and telemetry exporters.
+"""Causal span tracing, health probes, invariant monitors and exporters.
 
-Everything here is an *observer* of the simulation: the tracer and probe
-write only to ``sim.metrics`` (never the trace log) and consume no RNG,
-so enabling telemetry cannot change the determinism digest.  See
-DESIGN.md § Observability.
+Everything here is an *observer* of the simulation: tracer, probe,
+invariant monitor and flight recorder write only to ``sim.metrics``
+(never the trace log) and consume no RNG, so enabling telemetry cannot
+change the determinism digest.  See DESIGN.md § Observability.
 """
 
 from repro.telemetry.export import (
@@ -15,11 +15,29 @@ from repro.telemetry.export import (
     write_prometheus,
 )
 from repro.telemetry.health import HealthProbe
+from repro.telemetry.monitor import (
+    CheckpointAuditor,
+    ExactlyOnceAuditor,
+    FinalityAuditor,
+    InvariantMonitor,
+    InvariantViolation,
+    MembershipAuditor,
+    SupplyAuditor,
+)
+from repro.telemetry.recorder import FlightRecorder
 from repro.telemetry.spans import SpanTracer, route_shape, subnet_level
 
 __all__ = [
+    "CheckpointAuditor",
+    "ExactlyOnceAuditor",
+    "FinalityAuditor",
+    "FlightRecorder",
     "HealthProbe",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "MembershipAuditor",
     "SpanTracer",
+    "SupplyAuditor",
     "route_shape",
     "subnet_level",
     "telemetry_snapshot",

@@ -21,6 +21,8 @@ import json
 import re
 from typing import Optional
 
+from repro.sim.metrics import _json_safe
+
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
 
@@ -28,6 +30,7 @@ def telemetry_snapshot(
     sim,
     tracer=None,
     probe=None,
+    monitor=None,
     wall_seconds: Optional[float] = None,
     extra: Optional[dict] = None,
 ) -> dict:
@@ -42,7 +45,7 @@ def telemetry_snapshot(
         },
         "wall_seconds": wall_seconds,
         "counters": {n: c.value for n, c in sorted(metrics.counters.items())},
-        "gauges": {n: g.value for n, g in sorted(metrics.gauges.items())},
+        "gauges": {n: _json_safe(g.value) for n, g in sorted(metrics.gauges.items())},
         "histograms": {n: h.summary() for n, h in sorted(metrics.histograms.items())},
         "series": {
             n: {
@@ -59,6 +62,8 @@ def telemetry_snapshot(
         snapshot["spans"] = tracer.summary()
     if probe is not None:
         snapshot["health"] = {path: dict(s) for path, s in sorted(probe.latest.items())}
+    if monitor is not None:
+        snapshot["invariants"] = monitor.summary()
     if extra:
         snapshot["extra"] = extra
     return snapshot
@@ -81,25 +86,43 @@ def _prom_name(name: str) -> str:
     return cleaned
 
 
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` payload per the text exposition format."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def to_prometheus(sim) -> str:
-    """Render the sim's metrics registry in Prometheus text format."""
+    """Render the sim's metrics registry in Prometheus text format.
+
+    Each family gets ``# HELP`` (the original dotted metric name, since
+    the sanitised family name loses it) and ``# TYPE`` lines, and label
+    values are escaped, so the output passes ``promtool check metrics``.
+    """
     metrics = sim.metrics
     lines: list[str] = []
     emitted: set = set()
 
-    def emit(name: str, kind: str, body: list) -> None:
+    def emit(name: str, raw: str, kind: str, body: list) -> None:
         if name in emitted:  # sanitisation collision: keep the first
             return
         emitted.add(name)
+        lines.append(f"# HELP {name} {_escape_help(raw)}")
         lines.append(f"# TYPE {name} {kind}")
         lines.extend(body)
 
     for raw, counter in sorted(metrics.counters.items()):
         name = _prom_name(raw)
-        emit(name, "counter", [f"{name} {counter.value}"])
+        emit(name, raw, "counter", [f"{name} {counter.value}"])
     for raw, gauge in sorted(metrics.gauges.items()):
         name = _prom_name(raw)
-        emit(name, "gauge", [f"{name} {_fmt(gauge.value)}"])
+        emit(name, raw, "gauge", [f"{name} {_fmt(gauge.value)}"])
     for raw, histogram in sorted(metrics.histograms.items()):
         name = _prom_name(raw)
         summary = histogram.summary()
@@ -107,14 +130,15 @@ def to_prometheus(sim) -> str:
         for label, quantile in (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99")):
             value = summary[label]
             if value is not None:
-                body.append(f'{name}{{quantile="{quantile}"}} {_fmt(value)}')
+                quantile_value = _escape_label_value(quantile)
+                body.append(f'{name}{{quantile="{quantile_value}"}} {_fmt(value)}')
         body.append(f"{name}_count {summary['count']}")
         body.append(f"{name}_sum {_fmt(histogram.total)}")
-        emit(name, "summary", body)
+        emit(name, raw, "summary", body)
     for raw, series in sorted(metrics.series.items()):
         name = _prom_name(raw)
         if series.points:
-            emit(name, "gauge", [f"{name} {_fmt(series.points[-1][1])}"])
+            emit(name, raw, "gauge", [f"{name} {_fmt(series.points[-1][1])}"])
     return "\n".join(lines) + "\n"
 
 

@@ -32,6 +32,11 @@ class HealthProbe:
         self.interval = interval
         self.latest: dict[str, dict] = {}
         self._stop = None
+        self._listeners: list = []
+
+    def on_sample(self, callback) -> None:
+        """Call *callback(latest)* after every completed sample round."""
+        self._listeners.append(callback)
 
     def start(self) -> "HealthProbe":
         if self._stop is None:
@@ -69,6 +74,8 @@ class HealthProbe:
                 value = sample[field]
                 if value is not None:
                     metrics.timeseries(f"health.{path}.{field}").record(now, value)
+        for listener in self._listeners:
+            listener(self.latest)
         return self.latest
 
     def _checkpoint_lag(self, node) -> Optional[int]:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.analysis.report import Table
@@ -39,6 +40,34 @@ def _latency_rows(histograms: dict) -> list:
     return rows
 
 
+def summarize(snapshot: dict) -> dict:
+    """The report's content as plain data — what ``--json`` emits."""
+    histograms = snapshot.get("histograms", {})
+    return {
+        "sim": snapshot.get("sim", {}),
+        "wall_seconds": snapshot.get("wall_seconds"),
+        "spans": snapshot.get("spans"),
+        "invariants": snapshot.get("invariants"),
+        "hops": [
+            {"hop": kind, "level": level, **summary}
+            for kind, level, summary in _latency_rows(histograms)
+        ],
+        "e2e": {
+            name[len("xnet.e2e."):]: histograms[name]
+            for name in sorted(histograms)
+            if name.startswith("xnet.e2e.")
+        },
+        "checkpoints": {
+            name: histograms[name]
+            for name in sorted(histograms)
+            if name.startswith("checkpoint.lag") or name.startswith("checkpoint.hop.")
+        },
+        "dispatch": (snapshot.get("dispatch") or [])[:10],
+        "health": snapshot.get("health"),
+        "trace_log": snapshot.get("trace_log"),
+    }
+
+
 def render(snapshot: dict) -> str:
     sections = []
     sim = snapshot.get("sim", {})
@@ -59,6 +88,24 @@ def render(snapshot: dict) -> str:
             f"{spans.get('in_flight', 0)} in flight; "
             f"{spans.get('checkpoints', 0)} checkpoints observed"
         )
+
+    invariants = snapshot.get("invariants")
+    if invariants:
+        line = (
+            f"invariants: {invariants.get('violations', 0)} violation(s) across "
+            f"{len(invariants.get('auditors', []))} auditors"
+        )
+        by_auditor = invariants.get("by_auditor") or {}
+        if by_auditor:
+            detail = ", ".join(f"{k}={v}" for k, v in sorted(by_auditor.items()))
+            line += f" ({detail})"
+        latest = invariants.get("latest")
+        if latest:
+            line += (
+                f"\nlatest: [{latest.get('auditor')}] t={latest.get('time')} "
+                f"{latest.get('subnet')}: {latest.get('description')}"
+            )
+        sections.append(line)
 
     histograms = snapshot.get("histograms", {})
 
@@ -151,6 +198,10 @@ def main(argv=None) -> int:
         description="Render a run summary from a telemetry JSON dump.",
     )
     parser.add_argument("dump", help="path to a telemetry JSON dump (see repro.telemetry.export.write_json)")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the parsed summary as JSON instead of tables",
+    )
     args = parser.parse_args(argv)
     try:
         with open(args.dump, "r", encoding="utf-8") as handle:
@@ -163,7 +214,15 @@ def main(argv=None) -> int:
             f"warning: unrecognised schema {snapshot.get('schema')!r}; "
             "rendering best-effort", file=sys.stderr,
         )
-    print(render(snapshot))
+    try:
+        if args.json:
+            print(json.dumps(summarize(snapshot), indent=2, allow_nan=False))
+        else:
+            print(render(snapshot))
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `| head`) closed early; suppress the
+        # interpreter-shutdown flush error and exit cleanly.
+        sys.stdout = open(os.devnull, "w", encoding="utf-8")
     return 0
 
 

@@ -69,6 +69,42 @@ def test_forged_extraction_gets_at_most_supply_with_split_messages():
     assert audit.ok, audit.violations
 
 
+def test_supply_monitor_flags_forged_extraction_with_postmortem():
+    """E6's attack with live monitors: the supply auditor fires as the
+    forged release hits the parent, and the flight recorder dumps a
+    renderable postmortem bundle."""
+    system = build_system()
+    system.enable_telemetry(monitors=True)
+    sub = ROOTNET.child("victim")
+    alice = system.wallets["alice"]
+    system.fund_subnet(alice, sub, alice.address, 10_000)
+    assert system.wait_for(lambda: system.balance(sub, alice.address) >= 10_000, timeout=30.0)
+    circulating = system.child_record(ROOTNET, sub)["circulating"]
+
+    attacker = KeyPair("attacker-mon").address
+    CompromisedSubnet(system, sub).forge_extraction(attacker, value=circulating * 100)
+    system.run_for(60.0)
+
+    monitor = system.invariant_monitor
+    supply_violations = monitor.violations_for("supply")
+    assert supply_violations, "live supply auditor missed the forged extraction"
+    assert any("circulating supply" in v.description for v in supply_violations)
+    assert monitor.summary()["by_auditor"]["supply"] >= 1
+    # The firewall still held — books are sound even though the alarm rang.
+    assert system.balance(ROOTNET, attacker) <= circulating
+    assert audit_system(system).ok
+
+    # The violation produced a postmortem bundle that renders.
+    from repro.telemetry.postmortem import render
+
+    bundles = system.flight_recorder.bundles
+    assert bundles, "violation should have dumped a bundle"
+    text = render(bundles[0])
+    assert "postmortem: reason=invariant-violation" in text
+    assert "circulating supply" in text
+    assert "/root/victim" in text
+
+
 def test_honest_users_unaffected_in_other_subnets():
     system = HierarchicalSystem(
         seed=41, root_validators=3, root_block_time=0.5, checkpoint_period=5,

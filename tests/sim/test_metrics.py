@@ -108,10 +108,16 @@ def test_timeseries_rate():
 
 
 def test_timeseries_rate_degenerate():
+    """Undefined rates are None (JSON null), like Histogram.summary()."""
     series = TimeSeries("t")
-    assert series.rate() == 0.0
+    assert series.rate() is None  # empty series
+    assert series.rate(window=(0.0, 5.0)) is None  # still empty
     series.record(1.0, 1.0)
-    assert series.rate() == 0.0
+    assert series.rate() is None  # single point: no span
+    assert series.rate(window=(3.0, 3.0)) is None  # zero-span window
+    assert series.rate(window=(5.0, 2.0)) is None  # inverted window
+    # A genuine zero: positive-span window covering no points.
+    assert series.rate(window=(10.0, 20.0)) == 0.0
 
 
 def test_registry_reuses_instances():
@@ -142,3 +148,17 @@ def test_registry_snapshot_shape():
     assert snapshot["gauges"] == {"g": 1.0}
     assert snapshot["histograms"]["h"]["count"] == 1
     assert snapshot["series"] == {"s": 1}
+
+
+def test_registry_snapshot_is_nan_safe():
+    """A NaN/inf gauge snapshots as None so json.dumps(allow_nan=False)
+    never chokes on a metrics snapshot."""
+    import json
+
+    registry = MetricsRegistry()
+    registry.gauge("bad").set(float("nan"))
+    registry.gauge("worse").set(float("inf"))
+    registry.gauge("fine").set(2.0)
+    snapshot = registry.snapshot()
+    assert snapshot["gauges"] == {"bad": None, "worse": None, "fine": 2.0}
+    json.dumps(snapshot, allow_nan=False)  # must not raise

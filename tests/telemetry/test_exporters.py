@@ -132,7 +132,40 @@ def test_prometheus_sanitizes_names():
     sim.metrics.counter("weird.name-with/slash").inc()
     text = to_prometheus(sim)
     assert "weird_name_with_slash 1" in text
-    assert "weird.name" not in text
+    # The dotted original survives only in the HELP line.
+    assert "# HELP weird_name_with_slash weird.name-with/slash" in text
+
+
+def test_prometheus_lint_clean():
+    """Every family has HELP before TYPE and nothing else starts with #."""
+    sim, _tracer = _synthetic()
+    lines = to_prometheus(sim).strip().splitlines()
+    families = set()
+    for i, line in enumerate(lines):
+        if line.startswith("# TYPE "):
+            name, kind = line.split()[2:4]
+            assert kind in ("counter", "gauge", "summary")
+            assert lines[i - 1].startswith(f"# HELP {name} "), name
+            assert name not in families, f"duplicate family {name}"
+            families.add(name)
+        elif line.startswith("#"):
+            assert line.startswith("# HELP "), f"stray comment: {line}"
+    # Every sample line belongs to a declared family.
+    for line in lines:
+        if not line.startswith("#"):
+            sample = line.split("{")[0].split()[0]
+            base = sample
+            for suffix in ("_count", "_sum"):
+                if sample.endswith(suffix) and sample[: -len(suffix)] in families:
+                    base = sample[: -len(suffix)]
+            assert base in families, f"sample {sample} without TYPE"
+
+
+def test_prometheus_escaping_helpers():
+    from repro.telemetry.export import _escape_help, _escape_label_value
+
+    assert _escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+    assert _escape_help("back\\slash\nnewline") == "back\\\\slash\\nnewline"
 
 
 def test_report_cli_renders_dump(tmp_path, capsys):
@@ -150,3 +183,40 @@ def test_report_cli_renders_dump(tmp_path, capsys):
 def test_report_cli_missing_file(tmp_path, capsys):
     assert report_main([str(tmp_path / "absent.json")]) == 1
     assert "cannot read" in capsys.readouterr().err
+
+
+def test_report_cli_unparseable_file(tmp_path, capsys):
+    path = tmp_path / "garbage.json"
+    path.write_text("{not json", encoding="utf-8")
+    assert report_main([str(path)]) == 1
+    err = capsys.readouterr().err
+    assert "cannot read" in err
+    assert len(err.strip().splitlines()) == 1  # one line, no traceback
+
+
+def test_report_cli_json_flag(tmp_path, capsys):
+    sim, tracer = _synthetic()
+    path = str(tmp_path / "dump.json")
+    write_json(path, telemetry_snapshot(sim, tracer=tracer, wall_seconds=0.5))
+    assert report_main([path, "--json"]) == 0
+    out = capsys.readouterr().out
+    summary = json.loads(out)  # machine-readable
+    assert summary["spans"]["delivered"] == 1
+    assert summary["wall_seconds"] == 0.5
+    assert any(h["hop"] == "topdown" and h["level"] == "L1" for h in summary["hops"])
+    assert "topdown" in summary["e2e"]
+    assert "checkpoint.lag" in summary["checkpoints"]
+
+
+def test_report_renders_invariants_section(tmp_path, capsys):
+    sim, tracer = _synthetic()
+    from repro.telemetry import InvariantMonitor
+
+    monitor = InvariantMonitor(sim=sim, auditors=[]).install()
+    monitor.record("supply", "/root", "demo violation")
+    path = str(tmp_path / "dump.json")
+    write_json(path, telemetry_snapshot(sim, tracer=tracer, monitor=monitor))
+    assert report_main([path]) == 0
+    out = capsys.readouterr().out
+    assert "invariants: 1 violation(s) across 0 auditors" in out
+    assert "demo violation" in out
