@@ -107,7 +107,13 @@ def write_bench_json(name: str, rows=None, sim=None, extra=None) -> str:
             "now": sim.now,
             "events_executed": sim.events_executed,
             "seed": sim.seed,
+            "tie_shuffle": getattr(sim, "tie_shuffle", None),
         }
+        if LAST_SYSTEM is not None and LAST_SYSTEM.sim is sim:
+            # Semantic end-state digest (heads, state roots, supplies):
+            # invariant across tie-shuffle seeds — CI's sanitize job runs a
+            # bench under several REPRO_TIE_SHUFFLE values and diffs this.
+            document["sim"]["state_digest"] = LAST_SYSTEM.end_state_digest()
         document["metrics"] = _json_sanitize(sim.metrics.snapshot())
         document["dispatch"] = _json_sanitize(sim.dispatch.summary()[:16])
     path = os.path.join(bench_out_dir(), f"BENCH_{name}.json")

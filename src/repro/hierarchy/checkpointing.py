@@ -47,6 +47,13 @@ class CheckpointConfig:
     validator_count: int
     threshold_share_index: int = 0  # 1-based share index for threshold policy
     submit_fallback_delay: float = 10.0  # seconds before backups also submit
+    # How long the designated submitter waits for stragglers before
+    # submitting a partial (but still quorum-satisfying) signature set.
+    # The grace deadline makes the submitted bundle deterministic: at
+    # sign-time + grace every signature that will ever arrive has arrived,
+    # so the bundle is "all non-withheld signatures" independent of the
+    # order in which same-timestamp deliveries happened to fire.
+    submit_grace_delay: float = 2.0
 
 
 def _sca_key(key: str) -> str:
@@ -133,6 +140,17 @@ class CheckpointService:
             window,
             label="ckpt:fallback",
         )
+        if self._is_designated_submitter(window):
+            # Grace deadline: submit with whatever quorum exists once every
+            # signature that will ever arrive has had time to arrive.  Until
+            # then _maybe_submit only fires on a complete signature set, so
+            # the submitted bundle never depends on delivery tie order.
+            self.sim.schedule(
+                self.config.submit_grace_delay,
+                self._grace_submit,
+                window,
+                label="ckpt:grace",
+            )
         self._maybe_submit(window)
 
     def _produce_signature(self, payload: str):
@@ -205,6 +223,22 @@ class CheckpointService:
         return window % self.config.validator_count == self.config.validator_index
 
     def _maybe_submit(self, window: int) -> None:
+        if window in self._submitted or window not in self._checkpoints:
+            return
+        if not self._is_designated_submitter(window):
+            return
+        # Only the *complete* signature set is submitted eagerly.  A partial
+        # set that merely satisfies quorum would depend on which deliveries
+        # happened to fire first among same-timestamp events — a tie-order
+        # race (caught by ``Simulator(tie_shuffle=...)``).  Incomplete sets
+        # wait for the deterministic grace deadline instead.
+        book = self._signatures.get(window, {})
+        if len(book) < self.config.validator_count:
+            return
+        self._try_submit(window)
+
+    def _grace_submit(self, window: int) -> None:
+        """Grace deadline: submit the (now stable) quorum-satisfying set."""
         if window in self._submitted or window not in self._checkpoints:
             return
         if not self._is_designated_submitter(window):
@@ -291,13 +325,19 @@ class CheckpointService:
         if self.config.policy.kind == "threshold":
             return  # combining partials for a forged cid needs k colluders
         by_cid = self._seen_by_window.get(window, {})
-        complete = [
-            entry for entry in by_cid.values()
-            if entry["body"] is not None and len(entry["sigs"]) >= self._quorum()
-        ]
+        # Sort by checkpoint CID so the proof pair (and its order inside the
+        # fraud-proof transaction) is independent of gossip arrival order.
+        complete = sorted(
+            (
+                (cid_hex, entry)
+                for cid_hex, entry in by_cid.items()
+                if entry["body"] is not None and len(entry["sigs"]) >= self._quorum()
+            ),
+            key=lambda item: item[0],
+        )
         if len(complete) < 2:
             return
-        first, second = complete[0], complete[1]
+        first, second = complete[0][1], complete[1][1]
         if first["body"].prev != second["body"].prev:
             return
         self._fraud_reported.add(window)

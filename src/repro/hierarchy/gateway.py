@@ -275,8 +275,12 @@ class SubnetCoordinatorActor(Actor):
             value=ctx.value_received,
             method=method,
             params=params,
-            origin_nonce=ctx.epoch * 1_000_003 + ctx.state_get("bu_nonce", 0)
-            + ctx.state_get("origin_seq", 0),
+            # Purely state-derived: a monotonic per-SCA counter.  Mixing in
+            # ctx.epoch here would bake the inclusion *schedule* into the
+            # message identity (and every msgs_cid/checkpoint built on it),
+            # breaking end-state digest invariance under tie-shuffled
+            # schedules where a tx legally lands one block later.
+            origin_nonce=ctx.state_get("origin_seq", 0),
         )
         ctx.state_set("origin_seq", ctx.state_get("origin_seq", 0) + 1)
         self._route_outbound(ctx, message)

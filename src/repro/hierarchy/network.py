@@ -25,6 +25,7 @@ Typical use (see ``examples/quickstart.py``)::
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -268,6 +269,50 @@ class HierarchicalSystem:
 
     def balance(self, subnet, addr: Address) -> int:
         return self.node(subnet).vm.balance_of(addr)
+
+    def end_state_digest(self) -> str:
+        """Canonical digest of the system's *semantic* end state.
+
+        This is the fingerprint the tie-shuffle race detector compares
+        across shuffle seeds: for a quiescent run, it must be invariant
+        under any legal permutation of same-timestamp events.
+
+        It deliberately digests the **value level** — account balances,
+        minted/burned supply, and the SCA's per-child value accounting
+        (circulating/injected/released/collateral/slashed/status) — and
+        NOT chain or checkpoint CIDs.  Block and checkpoint identities
+        legitimately commit to the schedule (a subnet's genesis timestamp
+        is the sim time its registration landed; a cross-msg's inclusion
+        height shifts by a block under a permuted tie order), exactly as
+        two honest schedules of a real chain produce different but equally
+        valid block histories.  The paper's §II/§IV guarantees — value
+        conservation and the firewall bound — live at the value level,
+        so that is what must not depend on tie order.
+        """
+        hasher = hashlib.sha256()
+        for subnet in self.subnets:
+            node = self.node(subnet)
+            vm = node.vm
+            hasher.update(
+                (
+                    f"{SubnetID(subnet).path}"
+                    f"|minted={vm.total_minted}|burned={vm.total_burned}\n"
+                ).encode("utf-8")
+            )
+            for key, value in vm.state.items("balance/"):
+                hasher.update(f"  {key}={value}\n".encode("utf-8"))
+            for key, record in vm.state.items(f"actor/{SCA_ADDRESS.raw}/child/"):
+                hasher.update(
+                    (
+                        f"  {key}|circ={record['circulating']}"
+                        f"|inj={record['injected_total']}"
+                        f"|rel={record['released_total']}"
+                        f"|coll={record['collateral']}"
+                        f"|slash={record['slashed_total']}"
+                        f"|status={record['status']}\n"
+                    ).encode("utf-8")
+                )
+        return hasher.hexdigest()
 
     def sca_state(self, subnet, key: str, default=None):
         return self.node(subnet).vm.state.get(

@@ -1,0 +1,111 @@
+"""The grandfathering baseline.
+
+``LINT_BASELINE.txt`` (committed at the repo root) lists findings that
+predate a rule or are provably benign; each entry carries a justifying
+comment.  Entries match by **content** — ``rule_id | path | stripped
+source line`` — not by line number, so unrelated edits above a
+grandfathered line do not invalidate it, while editing the flagged line
+itself forces a re-review.
+
+File format, one entry per line::
+
+    # why this is benign …
+    DET001|src/repro/foo/bar.py|offending_source_line_stripped
+
+Blank lines and ``#`` comments are free-form; an entry inherits the
+comment block directly above it (the CLI prints it back when listing
+baselined findings).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.lint.findings import Finding
+
+DEFAULT_BASELINE_NAME = "LINT_BASELINE.txt"
+
+
+def normalize_entry_path(path: str) -> str:
+    """Reduce *path* to its ``repro/…`` suffix so entries match no matter
+    whether the CLI was invoked with absolute or repo-relative paths."""
+    norm = path.replace("\\", "/")
+    marker = "repro/"
+    idx = norm.rfind("/" + marker)
+    if idx >= 0:
+        return norm[idx + 1:]
+    if norm.startswith(marker):
+        return norm
+    return norm
+
+
+def format_baseline_entry(finding: Finding) -> str:
+    """The canonical baseline line for *finding*."""
+    return f"{finding.rule_id}|{normalize_entry_path(finding.path)}|{finding.source_line}"
+
+
+@dataclass
+class Baseline:
+    """Parsed baseline: entry -> justification comment."""
+
+    entries: dict[str, str] = field(default_factory=dict)
+    path: Optional[str] = None
+
+    def matches(self, finding: Finding) -> bool:
+        return format_baseline_entry(finding) in self.entries
+
+    def justification(self, finding: Finding) -> str:
+        return self.entries.get(format_baseline_entry(finding), "")
+
+    def unused(self, findings: Iterable[Finding]) -> list[str]:
+        """Baseline entries no finding matched — stale, should be pruned."""
+        seen = {format_baseline_entry(f) for f in findings}
+        return [entry for entry in self.entries if entry not in seen]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def load_baseline(path: Optional[str]) -> Baseline:
+    """Load *path*; a missing file is an empty baseline (nothing excused)."""
+    baseline = Baseline(path=path)
+    if path is None or not os.path.exists(path):
+        return baseline
+    comment: list[str] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.rstrip("\n")
+            stripped = line.strip()
+            if not stripped:
+                comment = []
+                continue
+            if stripped.startswith("#"):
+                comment.append(stripped.lstrip("# "))
+                continue
+            parts = stripped.split("|", 2)
+            if len(parts) == 3:
+                stripped = f"{parts[0]}|{normalize_entry_path(parts[1])}|{parts[2]}"
+            baseline.entries[stripped] = " ".join(comment)
+            comment = []
+    return baseline
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Write every finding as a baseline entry (used by ``--write-baseline``).
+
+    Entries get a TODO comment so a human must still justify each one —
+    an unjustified baseline defeats the point of having rules.
+    """
+    ordered = sorted(findings, key=lambda f: f.sort_key())
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(
+            "# repro.lint baseline — grandfathered findings.\n"
+            "# Every entry MUST carry a comment explaining why it is benign.\n"
+            "# Format: RULE|path|stripped source line (content-matched).\n\n"
+        )
+        for finding in ordered:
+            handle.write(f"# TODO: justify — {finding.message}\n")
+            handle.write(format_baseline_entry(finding) + "\n\n")
+    return len(ordered)

@@ -1,0 +1,104 @@
+"""The rule engine: walk files, parse once, run every applicable rule."""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import ALL_RULES
+from repro.lint.rules.base import Rule
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield every ``.py`` file under *paths* (files pass through as-is)."""
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames.sort()
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    yield os.path.join(dirpath, name)
+
+
+@dataclass
+class LintReport:
+    """Everything one engine run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    parse_errors: list[tuple[str, str]] = field(default_factory=list)
+    files_checked: int = 0
+    stale_baseline: list[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors and not self.parse_errors
+
+
+class LintEngine:
+    """Runs a rule set over a file tree, with optional baseline filtering."""
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        baseline: Optional[Baseline] = None,
+    ) -> None:
+        self.rules: tuple = tuple(rules if rules is not None else ALL_RULES)
+        self.baseline = baseline or Baseline()
+
+    def check_source(self, path: str, source: str) -> list[Finding]:
+        """Lint one in-memory source blob (fixtures use this directly)."""
+        tree = ast.parse(source, filename=path)
+        lines = source.splitlines()
+        findings: list[Finding] = []
+        for rule in self.rules:
+            if rule.applies(path):
+                findings.extend(rule.check(path, tree, lines))
+        findings.sort(key=lambda f: f.sort_key())
+        return findings
+
+    def run(self, paths: Sequence[str]) -> LintReport:
+        report = LintReport()
+        all_findings: list[Finding] = []
+        for filepath in iter_python_files(paths):
+            norm = filepath.replace(os.sep, "/")
+            try:
+                with open(filepath, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+                found = self.check_source(norm, source)
+            except (SyntaxError, UnicodeDecodeError, OSError) as err:
+                report.parse_errors.append((norm, str(err)))
+                continue
+            report.files_checked += 1
+            all_findings.extend(found)
+        for finding in all_findings:
+            if self.baseline.matches(finding):
+                report.baselined.append(finding)
+            else:
+                report.findings.append(finding)
+        report.stale_baseline = self.baseline.unused(all_findings)
+        return report
+
+
+def lint_paths(
+    paths: Sequence[str],
+    baseline: Optional[Baseline] = None,
+    rules: Optional[Iterable[Rule]] = None,
+) -> LintReport:
+    """One-call API: lint *paths* and return the report."""
+    engine = LintEngine(
+        rules=tuple(rules) if rules is not None else None, baseline=baseline
+    )
+    return engine.run(paths)

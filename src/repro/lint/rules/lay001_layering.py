@@ -1,0 +1,102 @@
+"""LAY001 — the import-layering contract.
+
+The stack layers strictly (see :data:`repro.lint.config.LAYERS` and the
+DESIGN.md diagram)::
+
+    crypto/analysis/lint < sim < net/storage < vm < chain/consensus
+                         < runtime < hierarchy < workloads/baselines
+                         < telemetry
+
+A module may import, at module scope, only packages at its own rank or
+below.  Equal ranks form one architectural layer and may interdepend
+(chain ↔ consensus).  Upward module-scope edges create import cycles,
+drag heavy layers under light ones, and let observability code leak into
+protocol logic.
+
+Function-local lazy imports are exempt by design: they are the sanctioned
+escape hatch for *optional* upward wiring (``enable_telemetry`` pulling in
+``repro.telemetry`` only when a run opts in) — they cannot create import
+cycles and keep the lower layer dependency-free by default.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Sequence
+
+from repro.lint.config import LAYERS, package_of
+from repro.lint.findings import Finding
+from repro.lint.rules.base import Rule, has_noqa
+
+
+def _imported_repro_package(node: ast.AST) -> Optional[str]:
+    """The top-level repro package a module-scope import pulls in."""
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            parts = alias.name.split(".")
+            if parts[0] == "repro" and len(parts) > 1:
+                return parts[1]
+    elif isinstance(node, ast.ImportFrom):
+        if node.module:
+            parts = node.module.split(".")
+            if parts[0] == "repro":
+                if len(parts) > 1:
+                    return parts[1]
+                # "from repro import hierarchy" — the names are packages.
+                for alias in node.names:
+                    if alias.name in LAYERS:
+                        return alias.name
+    return None
+
+
+class Lay001Layering(Rule):
+    rule_id = "LAY001"
+    fix_hint = (
+        "depend downward only; if the upward wiring is optional, import "
+        "lazily inside the function that needs it"
+    )
+
+    def applies(self, path: str) -> bool:
+        pkg = package_of(path)
+        return pkg is not None and pkg in LAYERS
+
+    def check(self, path: str, tree: ast.Module, lines: Sequence[str]) -> list[Finding]:
+        this_pkg = package_of(path)
+        this_rank = LAYERS[this_pkg]
+        findings: list[Finding] = []
+        # Module scope only: walk top-level statements (including inside
+        # top-level try/if blocks, which still execute at import time) but
+        # never descend into function bodies.
+        for node in self._module_scope_nodes(tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            pkg = _imported_repro_package(node)
+            if pkg is None or pkg == this_pkg:
+                continue
+            rank = LAYERS.get(pkg)
+            if rank is None:
+                continue
+            if rank > this_rank and not has_noqa(lines, node, self.rule_id):
+                findings.append(
+                    self.finding(
+                        path, node,
+                        f"{this_pkg} (layer {this_rank}) imports {pkg} "
+                        f"(layer {rank}) at module scope — upward edge",
+                        lines,
+                    )
+                )
+        return findings
+
+    def _module_scope_nodes(self, tree: ast.Module):
+        """Yield statements that run at import time (no function bodies)."""
+        stack = list(tree.body)
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.If, ast.Try, ast.With)):
+                for attr in ("body", "orelse", "finalbody", "handlers", "items"):
+                    for child in getattr(node, attr, []):
+                        if isinstance(child, ast.ExceptHandler):
+                            stack.extend(child.body)
+                        elif isinstance(child, ast.stmt):
+                            stack.append(child)

@@ -2,13 +2,36 @@
 
 An :class:`Event` is a callback scheduled at a simulated timestamp.  Events
 with equal timestamps are ordered by an insertion sequence number so that
-execution order is deterministic regardless of heap internals.
+execution order is deterministic regardless of heap internals: ties fire in
+FIFO (insertion) order.
+
+The FIFO tie rule is a *legal* schedule, not the only one — any permutation
+of same-timestamp events is an equally valid discrete-event schedule, and
+protocol outcomes must not depend on which one the queue happens to pick.
+:meth:`EventQueue.set_tie_shuffle` deterministically permutes ties under a
+seed so that hidden tie-order dependence becomes detectable (see
+``Simulator(tie_shuffle=...)`` and ``repro.lint``).
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Any, Callable, Iterator, Optional
+
+_MIX_MULT = 0x9E3779B97F4A7C15  # 64-bit golden-ratio multiplier (splitmix64)
+_MASK64 = (1 << 64) - 1
+
+
+def tie_mix(shuffle_seed: int, seq: int) -> int:
+    """A keyed 64-bit integer hash of *seq* — the tie-shuffle permutation.
+
+    splitmix64-style finalizer: fast, stateless, stable across runs and
+    Python versions (no dependence on ``hash()`` randomization).
+    """
+    z = (seq + shuffle_seed * _MIX_MULT) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
 
 
 class Event:
@@ -19,7 +42,9 @@ class Event:
     cancelled event is skipped by the queue and never executed.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "kwargs", "cancelled", "label", "popped")
+    __slots__ = (
+        "time", "seq", "tie", "callback", "args", "kwargs", "cancelled", "label", "popped",
+    )
 
     def __init__(
         self,
@@ -29,9 +54,14 @@ class Event:
         args: tuple = (),
         kwargs: Optional[dict] = None,
         label: str = "",
+        tie: int = 0,
     ) -> None:
         self.time = time
         self.seq = seq
+        # Secondary sort key among same-timestamp events.  0 under the
+        # default FIFO rule (comparison then falls through to seq); a keyed
+        # hash of seq under tie-shuffle (see EventQueue.set_tie_shuffle).
+        self.tie = tie
         self.callback = callback
         self.args = args
         self.kwargs = kwargs or {}
@@ -48,7 +78,7 @@ class Event:
         return self.callback(*self.args, **self.kwargs)
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        return (self.time, self.tie, self.seq) < (other.time, other.tie, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -57,12 +87,37 @@ class Event:
 
 
 class EventQueue:
-    """A deterministic priority queue of :class:`Event` objects."""
+    """A deterministic priority queue of :class:`Event` objects.
+
+    Ordering contract: events pop in ascending ``(time, tie, seq)`` order.
+    ``tie`` is 0 for every event by default, so same-timestamp events fire
+    FIFO by insertion sequence — two runs that push the same events in the
+    same order always pop them in the same order, and permuting the
+    insertion order of *distinct-timestamp* events cannot change pop order.
+    Under :meth:`set_tie_shuffle` the tie key becomes a seeded hash of the
+    sequence number, deterministically permuting same-timestamp ties.
+    """
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._seq = 0
         self._live = 0
+        self._tie_shuffle: Optional[int] = None
+
+    def set_tie_shuffle(self, shuffle_seed: Optional[int]) -> None:
+        """Permute same-timestamp ties under *shuffle_seed* (None = FIFO).
+
+        Must be called before any events are pushed: mixing tie disciplines
+        within one queue would make the already-queued prefix incomparable
+        with the rest.
+        """
+        if self._heap or self._seq:
+            raise RuntimeError("set_tie_shuffle() requires an empty, unused queue")
+        self._tie_shuffle = shuffle_seed
+
+    @property
+    def tie_shuffle(self) -> Optional[int]:
+        return self._tie_shuffle
 
     def __len__(self) -> int:
         return self._live
@@ -79,7 +134,8 @@ class EventQueue:
         label: str = "",
     ) -> Event:
         """Schedule *callback* at absolute simulated *time*."""
-        event = Event(time, self._seq, callback, args, kwargs, label)
+        tie = 0 if self._tie_shuffle is None else tie_mix(self._tie_shuffle, self._seq)
+        event = Event(time, self._seq, callback, args, kwargs, label, tie=tie)
         self._seq += 1
         heapq.heappush(self._heap, event)
         self._live += 1

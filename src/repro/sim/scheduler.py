@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import time as _wallclock
 from typing import Any, Callable, Optional
 
@@ -153,13 +154,30 @@ class Simulator:
         sim = Simulator(seed=42)
         sim.schedule(1.0, do_something)
         sim.run_until(10.0)
+
+    **Tie-order race detection.**  Same-timestamp events fire FIFO by
+    default; any permutation of those ties is an equally legal schedule, so
+    a protocol outcome that depends on the FIFO accident is a latent race.
+    Passing ``tie_shuffle=<int>`` (or setting ``$REPRO_TIE_SHUFFLE``)
+    deterministically permutes ties under that seed: running the same
+    scenario under several shuffle seeds and comparing end-state digests
+    (e.g. ``HierarchicalSystem.end_state_digest()``) detects hidden
+    tie-order dependence.  ``tie_shuffle=None`` with the environment
+    variable unset is the plain FIFO discipline.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, tie_shuffle: Optional[int] = None) -> None:
         self.now: float = 0.0
         self.seed = seed
         self.seeds = SeedSequence(seed)
         self.queue = EventQueue()
+        if tie_shuffle is None:
+            env = os.environ.get("REPRO_TIE_SHUFFLE")
+            if env:
+                tie_shuffle = int(env)
+        if tie_shuffle is not None:
+            self.queue.set_tie_shuffle(tie_shuffle)
+        self.tie_shuffle = tie_shuffle
         self.metrics = MetricsRegistry(clock=lambda: self.now)
         self.trace = TraceLog(clock=lambda: self.now)
         self.dispatch = DispatchBus(metrics=self.metrics, trace=self.trace)
@@ -226,6 +244,15 @@ class Simulator:
         Returns a zero-argument function that stops the recurrence.  The
         first firing happens after *start_after* seconds (default: one full
         interval).
+
+        Tie-breaking: each tick re-schedules the next one from inside its
+        own callback, so a tick's queue sequence number — and hence its
+        position among same-timestamp events — is assigned at that moment.
+        Two recurrences with the same interval fire in the order their
+        *previous* ticks ran (FIFO by re-scheduling), which is itself FIFO
+        by the order of the original :meth:`every` calls.  As with all
+        same-timestamp ties, correct components must not rely on this
+        accident; ``tie_shuffle`` exists to flush out code that does.
 
         ``on_error`` decides what an exception raised by *callback* does to
         the recurrence:

@@ -38,7 +38,7 @@ class Cluster:
         genesis_block, genesis_vm = build_genesis(
             GenesisParams(subnet_id="/root", allocations=genesis_allocations)
         )
-        params_kwargs = dict(engine=engine, block_time=block_time)
+        params_kwargs = {"engine": engine, "block_time": block_time}
         params_kwargs.update(consensus_overrides or {})
         self.cluster = ValidatorCluster.build(
             [

@@ -45,7 +45,7 @@ def test_whole_world_runs_and_audits(world):
     whale = system.wallets["whale"]
 
     # Fund the whale in every subnet (multi-hop for the deep one).
-    for name, subnet in subnets.items():
+    for subnet in subnets.values():
         system.provision_treasury(subnet, 10**7)
         system.fund_subnet(system.treasury, subnet, whale.address, 10**6)
     assert system.wait_for(
@@ -112,7 +112,7 @@ def test_whole_world_runs_and_audits(world):
 
 def test_world_checkpoint_chains_intact(world):
     system, subnets = world
-    for name, subnet in subnets.items():
+    for subnet in subnets.values():
         parent = subnet.parent()
         record = system.child_record(parent, subnet)
         assert record["last_ckpt_cid"] != "00" * 32, f"{subnet} never checkpointed"

@@ -1,0 +1,19 @@
+"""DET001 golden fixture: wall-clock and entropy reads (every line fires)."""
+import os
+import random
+import time
+from datetime import datetime
+
+
+def timestamp_block(block):
+    block["ts"] = time.time()
+    block["day"] = datetime.now()
+    return block
+
+
+def pick_leader(validators):
+    return random.choice(validators)
+
+
+def make_nonce():
+    return os.urandom(8)

@@ -1,0 +1,23 @@
+"""DET001 golden fixture: the sanctioned idioms (must stay silent)."""
+import random
+import time
+
+
+def timestamp_block(sim, block):
+    block["ts"] = sim.now
+    return block
+
+
+def pick_leader(sim, validators):
+    rng = sim.rng("leader-election")
+    return validators[rng.randrange(len(validators))]
+
+
+def explicit_seeded(seed):
+    return random.Random(seed).randrange(100)
+
+
+def profile(fn):
+    start = time.perf_counter()  # wall profiling is digest-neutral
+    fn()
+    return time.perf_counter() - start

@@ -1,0 +1,17 @@
+"""DET002 golden fixture: ordering-sensitive set iteration (fires)."""
+
+
+def assemble(pending_ids):
+    chosen = set(pending_ids)
+    batch = []
+    for msg_id in chosen:
+        batch.append(msg_id)
+    return batch
+
+
+def diff_members(before, after):
+    return [addr for addr in after.keys() - before.keys()]
+
+
+def freeze(validators):
+    return list({v.lower() for v in validators})

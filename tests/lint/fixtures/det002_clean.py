@@ -1,0 +1,18 @@
+"""DET002 golden fixture: canonical orderings (must stay silent)."""
+
+
+def assemble(pending_ids):
+    chosen = set(pending_ids)
+    batch = []
+    for msg_id in sorted(chosen):
+        batch.append(msg_id)
+    return batch
+
+
+def diff_members(before, after):
+    return sorted(after.keys() - before.keys())
+
+
+def count(validators):
+    unique = {v.lower() for v in validators}
+    return sum(1 for v in unique)

@@ -1,0 +1,14 @@
+"""DET003 golden fixture: float arithmetic in value accounting (fires)."""
+
+
+def charge_fee(value):
+    fee = value * 0.01
+    return value - fee
+
+
+def split(value, ways):
+    return value / ways
+
+
+def to_units(raw):
+    return float(raw)

@@ -1,0 +1,14 @@
+"""DET003 golden fixture: integer value accounting (must stay silent)."""
+
+FEE_BPS = 100  # basis points
+
+
+def charge_fee(value):
+    fee = value * FEE_BPS // 10_000
+    return value - fee
+
+
+def split(value, ways):
+    share = value // ways
+    remainder = value - share * ways
+    return share, remainder

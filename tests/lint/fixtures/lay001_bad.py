@@ -1,0 +1,10 @@
+"""LAY001 golden fixture: an upward module-scope import (fires).
+
+Checked under a fake path inside ``repro/sim/`` — the bottom layer
+importing the top one.
+"""
+from repro.telemetry import SpanTracer
+
+
+def install(sim):
+    return SpanTracer(sim).install()

@@ -1,0 +1,32 @@
+"""The acceptance gate: the real tree lints clean against the committed
+baseline, and every baseline entry both matches something and is justified."""
+
+import os
+
+from repro.lint import lint_paths, load_baseline
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+SRC = os.path.join(REPO_ROOT, "src", "repro")
+BASELINE = os.path.join(REPO_ROOT, "LINT_BASELINE.txt")
+
+
+def test_tree_has_zero_non_baselined_findings():
+    baseline = load_baseline(BASELINE)
+    report = lint_paths([SRC], baseline=baseline)
+    assert report.parse_errors == []
+    assert report.findings == [], "\n".join(f.render() for f in report.findings)
+    assert report.ok
+
+
+def test_baseline_has_no_stale_entries_and_all_are_justified():
+    baseline = load_baseline(BASELINE)
+    report = lint_paths([SRC], baseline=baseline)
+    assert report.stale_baseline == [], report.stale_baseline
+    for entry, why in baseline.entries.items():
+        assert why.strip(), f"baseline entry lacks a justifying comment: {entry}"
+        assert "TODO" not in why, f"unjustified placeholder baseline entry: {entry}"
+
+
+def test_lint_package_is_itself_clean():
+    report = lint_paths([os.path.join(SRC, "lint")])
+    assert report.ok and report.findings == []

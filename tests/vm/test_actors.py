@@ -3,7 +3,7 @@
 import pytest
 
 from repro.crypto.keys import Address, KeyPair
-from repro.vm import VM, Actor, ActorRegistry, ExitCode, Message, export
+from repro.vm import VM, Actor, ActorError, ActorRegistry, ExitCode, Message, export
 from repro.vm.builtin import default_registry
 from repro.vm.builtin.reward import REWARD_ACTOR_ADDRESS, RewardActor
 from repro.vm.builtin.token_faucet import FaucetActor
@@ -175,7 +175,7 @@ def test_nested_failure_propagates_when_not_tolerated(vm, user):
 def test_create_actor_twice_fails(vm):
     addr = Address.actor(10)
     vm.create_actor(addr, "counter")
-    with pytest.raises(Exception):
+    with pytest.raises(ActorError):
         vm.create_actor(addr, "counter")
 
 
