@@ -27,7 +27,14 @@ from repro.telemetry import (
 )
 
 import common
-from common import bench_out_dir, capture_system, run_once, show_table, write_bench_json
+from common import (
+    bench_out_dir,
+    capture_system,
+    perf_snapshot,
+    run_once,
+    show_table,
+    write_bench_json,
+)
 
 BLOCK_TIME = 0.25
 PERIOD = 8  # 2.0s windows
@@ -140,7 +147,11 @@ def test_e3_crossmsg_latency_vs_depth(benchmark):
     system = _SYSTEM
     tracer = system.span_tracer
     out = bench_out_dir()
-    write_bench_json("e3_crossmsgs", rows=rows)
+    write_bench_json(
+        "e3_crossmsgs",
+        rows=rows,
+        extra={"perf": perf_snapshot(system.sim, common.LAST_WALL_SECONDS)},
+    )
     dump = telemetry_snapshot(
         system.sim, tracer=tracer, probe=system.health_probe,
         monitor=system.invariant_monitor,

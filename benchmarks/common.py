@@ -15,6 +15,7 @@ import os
 import time
 
 from repro.analysis import Table
+from repro.crypto.cid import cid_cache_stats
 from repro.hierarchy import HierarchicalSystem, SubnetConfig
 from repro.workloads import PaymentWorkload
 
@@ -103,6 +104,13 @@ def write_bench_json(name: str, rows=None, sim=None, extra=None) -> str:
         document["extra"] = _json_sanitize(extra)
     if sim is not None:
         sim.dispatch.publish()
+        # CID memoization effectiveness.  The underlying stats are
+        # process-global, so publish them as catch-up deltas onto this
+        # sim's monotone counters (single publish point per run).
+        stats = cid_cache_stats()
+        for kind in ("hits", "misses"):
+            counter = sim.metrics.counter(f"cid.cache.{kind}")
+            counter.inc(max(0, stats[kind] - counter.value))
         document["sim"] = {
             "now": sim.now,
             "events_executed": sim.events_executed,
@@ -122,6 +130,36 @@ def write_bench_json(name: str, rows=None, sim=None, extra=None) -> str:
         handle.write("\n")
     print(f"\n[bench] wrote {path}")
     return path
+
+
+def committed_blocks(sim) -> int:
+    """Total blocks committed across every chain in *sim*.
+
+    Sums the ``chain.<subnet>.blocks`` commit marks, so forked/orphaned
+    blocks don't count — this is canonical chain growth.
+    """
+    total = 0.0
+    for name, series in sim.metrics.series.items():
+        if name.startswith("chain.") and name.endswith(".blocks"):
+            total += sum(v for _, v in series.points)
+    return int(total)
+
+
+def perf_snapshot(sim, wall_seconds) -> dict:
+    """The committed-perf-trajectory metrics for one run.
+
+    ``blocks_per_wall_sec`` — simulated blocks committed per wall-clock
+    second — is the simulation-speed figure the CI perf-compare job diffs
+    against the trajectory committed at the repo root.
+    """
+    blocks = committed_blocks(sim)
+    return {
+        "wall_seconds": wall_seconds,
+        "blocks_committed": blocks,
+        "blocks_per_wall_sec": (
+            blocks / wall_seconds if wall_seconds else None
+        ),
+    }
 
 
 def show_table(title, columns, rows) -> Table:

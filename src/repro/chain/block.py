@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from repro.crypto.cid import CID, cid_of
+from repro.crypto.cid import CID, cached_cid
 from repro.crypto.keys import Address
 from repro.crypto.merkle import MerkleTree
 
@@ -46,11 +46,7 @@ class BlockHeader:
     def cid(self) -> CID:
         # Headers are immutable and hashed constantly (fork choice, ancestry
         # walks, gossip dedup): cache the CID on first computation.
-        cached = self.__dict__.get("_cid")
-        if cached is None:
-            cached = cid_of(self)
-            object.__setattr__(self, "_cid", cached)
-        return cached
+        return cached_cid(self)
 
     @property
     def is_genesis(self) -> bool:
@@ -95,7 +91,16 @@ class FullBlock:
         return MerkleTree(leaves).root_cid
 
     def messages_root_matches(self) -> bool:
-        return (
+        # Memoized (True only): the block object is immutable and every
+        # validator re-checks the same gossiped instance.  A failing check
+        # is not cached — it costs nothing extra and keeps the negative
+        # path simple.
+        if self.__dict__.get("_mr_ok"):
+            return True
+        ok = (
             self.compute_messages_root(self.messages, self.cross_messages)
             == self.header.messages_root
         )
+        if ok:
+            object.__setattr__(self, "_mr_ok", True)
+        return ok

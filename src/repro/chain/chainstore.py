@@ -160,10 +160,20 @@ class ChainStore:
     # ------------------------------------------------------------------
     # State snapshots (for fork-capable engines)
     # ------------------------------------------------------------------
-    def put_state(self, cid: CID, flat_state: dict) -> None:
-        self._state_snapshots[cid] = flat_state
+    def put_state(self, cid: CID, state: object) -> None:
+        """Store the post-state of block *cid*.
 
-    def get_state(self, cid: CID) -> Optional[dict]:
+        The store is agnostic to the snapshot representation; the runtime
+        passes frozen :class:`~repro.storage.statetree.StateTree` forks, so
+        a snapshot costs O(delta) and shares structure with its neighbours.
+        Pruning drops a fork's reference; deltas no longer reachable from
+        any retained fork are reclaimed (the trees compact their shared
+        chains as they grow).
+        """
+        self._state_snapshots[cid] = state
+
+    def get_state(self, cid: CID) -> Optional[object]:
+        """The stored post-state of block *cid*, or None if pruned."""
         return self._state_snapshots.get(cid)
 
     def _prune_snapshots(self) -> None:

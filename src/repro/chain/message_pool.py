@@ -28,7 +28,8 @@ class MessagePool:
 
     def add(self, signed: SignedMessage) -> bool:
         """Add a verified-signature message; returns False on dup/invalid/full."""
-        if signed.cid in self._cids:
+        cid = signed.cid
+        if cid in self._cids:
             return False
         if len(self._cids) >= self.capacity:
             return False
@@ -39,7 +40,7 @@ class MessagePool:
         if nonce in sender_queue:
             return False  # first-seen wins; no replace-by-fee in this model
         sender_queue[nonce] = signed
-        self._cids.add(signed.cid)
+        self._cids.add(cid)
         return True
 
     def has(self, cid: CID) -> bool:

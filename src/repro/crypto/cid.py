@@ -18,12 +18,15 @@ _PREFIX = "bafy"  # cosmetic, to make CIDs recognisable in traces
 class CID:
     """An immutable content identifier."""
 
-    __slots__ = ("digest",)
+    __slots__ = ("digest", "_hash")
 
     def __init__(self, digest: bytes) -> None:
         if not isinstance(digest, bytes) or len(digest) != 32:
             raise ValueError("CID requires a 32-byte digest")
         object.__setattr__(self, "digest", digest)
+        # CIDs key mempools, chain stores and dedup sets: hashing happens
+        # far more often than construction, so pay for it once here.
+        object.__setattr__(self, "_hash", hash(digest))
 
     def __setattr__(self, name, value):  # immutability
         raise AttributeError("CID is immutable")
@@ -48,7 +51,7 @@ class CID:
         return isinstance(other, CID) and other.digest == self.digest
 
     def __hash__(self) -> int:
-        return hash(self.digest)
+        return self._hash
 
     def __lt__(self, other: "CID") -> bool:
         return self.digest < other.digest
@@ -63,3 +66,42 @@ class CID:
 def cid_of(value: Any) -> CID:
     """Compute the CID of any canonically-encodable value."""
     return CID(hashlib.sha256(canonical_encode(value)).digest())
+
+
+_cache_hits = 0
+_cache_misses = 0
+
+
+def cached_cid(value: Any) -> CID:
+    """``cid_of`` with per-object memoization for immutable values.
+
+    The CID is stashed in the object's ``__dict__`` (works on frozen
+    dataclasses via ``object.__setattr__``; dataclass ``__eq__``/``repr``
+    only look at declared fields, so the stash is invisible).  The same
+    block or message gossiped to V validators is then hashed once, not V
+    times.  Callers must only use this for values that are immutable after
+    construction — everything content-addressed in this codebase is.
+    """
+    global _cache_hits, _cache_misses
+    attrs = getattr(value, "__dict__", None)
+    if attrs is not None:
+        cached = attrs.get("_cid")
+        if cached is not None:
+            _cache_hits += 1
+            return cached
+    _cache_misses += 1
+    cid = cid_of(value)
+    if attrs is not None:
+        object.__setattr__(value, "_cid", cid)
+    return cid
+
+
+def cid_cache_stats() -> dict:
+    """Process-wide hit/miss totals of :func:`cached_cid` (perf telemetry)."""
+    return {"hits": _cache_hits, "misses": _cache_misses}
+
+
+def reset_cid_cache_stats() -> None:
+    global _cache_hits, _cache_misses
+    _cache_hits = 0
+    _cache_misses = 0

@@ -6,12 +6,19 @@ types the protocol actually stores (ints, strings, bytes, bools, None,
 floats, sequences, mappings with string-able keys) plus any object exposing
 ``to_canonical()`` returning one of those.  Unknown types are an error —
 silently falling back to ``repr`` would hide nondeterminism.
+
+The encoder dispatches on exact type through a handler table (the hot path:
+every CID computation recurses through here), falling back to an
+``isinstance`` chain for subclasses.  Types that reach the fallback's
+``to_canonical`` arm are promoted into the table with a precomputed name
+prefix, so each protocol object class pays the slow path once per process.
+Both paths produce identical bytes.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Any
+from typing import Any, Callable, Dict
 
 
 class EncodingError(TypeError):
@@ -26,44 +33,118 @@ def canonical_encode(value: Any) -> bytes:
 
 
 def _encode_into(out: bytearray, value: Any) -> None:
-    if value is None:
-        out += b"N"
-    elif value is True:
-        out += b"T"
-    elif value is False:
-        out += b"F"
+    handler = _HANDLERS.get(type(value))
+    if handler is not None:
+        handler(out, value)
+    else:
+        _encode_fallback(out, value)
+
+
+def _enc_none(out: bytearray, value: None) -> None:
+    out += b"N"
+
+
+def _enc_bool(out: bytearray, value: bool) -> None:
+    out += b"T" if value else b"F"
+
+
+def _enc_int(out: bytearray, value: int) -> None:
+    body = str(value).encode("ascii")
+    out += b"i%d:" % len(body)
+    out += body
+
+
+def _enc_float(out: bytearray, value: float) -> None:
+    out += b"f"
+    out += struct.pack(">d", value)
+
+
+def _enc_str(out: bytearray, value: str) -> None:
+    body = value.encode("utf-8")
+    out += b"s%d:" % len(body)
+    out += body
+
+
+def _enc_bytes(out: bytearray, value) -> None:
+    out += b"b%d:" % len(value)
+    out += bytes(value)
+
+
+def _enc_seq(out: bytearray, value) -> None:
+    out += b"l%d:" % len(value)
+    for item in value:
+        _encode_into(out, item)
+
+
+def _enc_dict(out: bytearray, value: dict) -> None:
+    items = sorted(value.items(), key=lambda kv: str(kv[0]))
+    out += b"d%d:" % len(items)
+    for key, item in items:
+        _encode_into(out, key if type(key) is str else str(key))
+        _encode_into(out, item)
+
+
+def _enc_set(out: bytearray, value) -> None:
+    items = sorted(value, key=repr)
+    out += b"e%d:" % len(items)
+    for item in items:
+        _encode_into(out, item)
+
+
+_HANDLERS: Dict[type, Callable[[bytearray, Any], None]] = {
+    type(None): _enc_none,
+    bool: _enc_bool,
+    int: _enc_int,
+    float: _enc_float,
+    str: _enc_str,
+    bytes: _enc_bytes,
+    bytearray: _enc_bytes,
+    list: _enc_seq,
+    tuple: _enc_seq,
+    dict: _enc_dict,
+    set: _enc_set,
+    frozenset: _enc_set,
+}
+
+
+def _make_object_encoder(tp: type) -> Callable[[bytearray, Any], None]:
+    """Handler for a ``to_canonical`` type, name prefix baked in."""
+    name = tp.__name__.encode("utf-8")
+    prefix = b"os%d:" % len(name) + name
+
+    def encode(out: bytearray, value: Any) -> None:
+        out += prefix
+        _encode_into(out, value.to_canonical())
+
+    return encode
+
+
+def _encode_fallback(out: bytearray, value: Any) -> None:
+    """Subclasses and first-seen protocol objects (identical bytes)."""
+    if isinstance(value, bool):
+        out += b"T" if value else b"F"
     elif isinstance(value, int):
-        body = str(value).encode("ascii")
-        out += b"i" + _length(body) + body
+        _enc_int(out, value)
     elif isinstance(value, float):
-        out += b"f" + struct.pack(">d", value)
+        _enc_float(out, value)
     elif isinstance(value, str):
-        body = value.encode("utf-8")
-        out += b"s" + _length(body) + body
+        _enc_str(out, value)
     elif isinstance(value, (bytes, bytearray)):
-        out += b"b" + _length(value) + bytes(value)
+        _enc_bytes(out, value)
     elif isinstance(value, (list, tuple)):
-        out += b"l" + _length(value)
-        for item in value:
-            _encode_into(out, item)
+        _enc_seq(out, value)
     elif isinstance(value, dict):
-        items = sorted(value.items(), key=lambda kv: str(kv[0]))
-        out += b"d" + _length(items)
-        for key, item in items:
-            _encode_into(out, str(key))
-            _encode_into(out, item)
+        _enc_dict(out, value)
     elif isinstance(value, (set, frozenset)):
-        items = sorted(value, key=repr)
-        out += b"e" + _length(items)
-        for item in items:
-            _encode_into(out, item)
+        _enc_set(out, value)
+    elif hasattr(type(value), "to_canonical"):
+        handler = _make_object_encoder(type(value))
+        _HANDLERS[type(value)] = handler
+        handler(out, value)
     elif hasattr(value, "to_canonical"):
+        # to_canonical set per instance, not on the class: don't cache.
         out += b"o"
-        _encode_into(out, type(value).__name__)
+        _enc_str(out, type(value).__name__)
         _encode_into(out, value.to_canonical())
     else:
         raise EncodingError(f"no canonical encoding for {type(value).__name__}: {value!r}")
-
-
-def _length(sized) -> bytes:
-    return str(len(sized)).encode("ascii") + b":"

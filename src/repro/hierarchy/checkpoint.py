@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from repro.crypto.cid import CID, cid_of
+from repro.crypto.cid import CID, cached_cid
 from repro.hierarchy.subnet_id import SubnetID
 
 ZERO_CHECKPOINT = CID(b"\x00" * 32)
@@ -55,7 +55,7 @@ class CrossMsgMeta:
 
     @property
     def cid(self) -> CID:
-        return cid_of(self)
+        return cached_cid(self)
 
 
 @dataclass(frozen=True)
@@ -83,7 +83,7 @@ class Checkpoint:
 
     @property
     def cid(self) -> CID:
-        return cid_of(self)
+        return cached_cid(self)
 
     def metas_for(self, subnet: SubnetID) -> list:
         """Metas in this checkpoint destined for *subnet* itself."""

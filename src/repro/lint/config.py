@@ -83,8 +83,10 @@ def in_packages(path: str, packages: Sequence[str]) -> bool:
 DET001_EXEMPT_PREFIXES = ("crypto/", "sim/rng.py")
 
 #: DET002 watches the packages whose iteration order feeds consensus-
-#: critical decisions: block assembly, validation, cross-net routing.
-DET002_PACKAGES = ("consensus", "chain", "hierarchy")
+#: critical decisions: block assembly, validation, cross-net routing, and
+#: the state-root commitment (the bucketed root in storage/statetree.py
+#: must hash bucket contents in a schedule-independent order).
+DET002_PACKAGES = ("consensus", "chain", "hierarchy", "storage")
 
 #: DET003 watches the value/supply accounting hot spots (§II firewall).
 DET003_FILES = (

@@ -51,6 +51,9 @@ class _PeerState:
         self.peer_id = peer_id
         self.topics: dict[str, Callable[[PubsubEnvelope], None]] = {}
         self.mesh: dict[str, set[str]] = {}
+        # Sorted snapshot of each mesh set, computed lazily on first forward
+        # and invalidated by _rebuild_mesh (the only place mesh sets change).
+        self.mesh_sorted: dict[str, tuple[str, ...]] = {}
         self.seen: dict[str, PubsubEnvelope] = {}
         self.seen_order: list[tuple[int, str]] = []  # (heartbeat_no, msg_id)
         self.seq = 0
@@ -75,6 +78,11 @@ class GossipNetwork:
         self._peers: dict[str, _PeerState] = {}
         self._topic_members: dict[str, set[str]] = {}
         self._rng = sim.rng("net", "gossip")
+        # Hot-path metric handles, resolved once (publish/deliver run for
+        # every gossiped message).
+        self._published = sim.metrics.counter("gossip.published")
+        self._delivered = sim.metrics.counter("gossip.delivered")
+        self._latency = sim.metrics.histogram("gossip.latency")
         self._heartbeat_no = 0
         self._stop_heartbeat = sim.every(
             self.params.heartbeat_interval, self._heartbeat, label="gossip:heartbeat"
@@ -132,6 +140,8 @@ class GossipNetwork:
         links are symmetric.  Rebuilt on churn, which is infrequent in our
         workloads, so the simplicity beats incremental GRAFT/PRUNE.
         """
+        for peer in self._peers.values():
+            peer.mesh_sorted.pop(topic, None)
         members = sorted(self._topic_members.get(topic, set()))
         for member in members:
             self._peers[member].mesh[topic] = set()
@@ -166,7 +176,7 @@ class GossipNetwork:
             msg_id=msg_id,
             published_at=self.sim.now,
         )
-        self.sim.metrics.counter("gossip.published").inc()
+        self._published.inc()
         self._accept(peer_id, envelope, deliver_locally=True)
         # If the publisher is not in the topic, seed the flood at a few members.
         if topic not in state.topics:
@@ -189,12 +199,14 @@ class GossipNetwork:
         state.seen_order.append((self._heartbeat_no, envelope.msg_id))
         handler = state.topics.get(envelope.topic)
         if handler is not None and deliver_locally:
-            self.sim.metrics.counter("gossip.delivered").inc()
-            self.sim.metrics.histogram("gossip.latency").observe(
-                self.sim.now - envelope.published_at
-            )
+            self._delivered.inc()
+            self._latency.observe(self.sim.now - envelope.published_at)
             handler(envelope)
-        for neighbour in sorted(state.mesh.get(envelope.topic, set())):
+        neighbours = state.mesh_sorted.get(envelope.topic)
+        if neighbours is None:
+            neighbours = tuple(sorted(state.mesh.get(envelope.topic, ())))
+            state.mesh_sorted[envelope.topic] = neighbours
+        for neighbour in neighbours:
             self.transport.send(peer_id, neighbour, "gossip:pub", envelope)
 
     # ------------------------------------------------------------------

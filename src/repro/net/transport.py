@@ -37,6 +37,12 @@ class Transport:
         self._handlers: dict[str, Callable[[NetMessage], None]] = {}
         self._next_msg_id = 0
         self._rng = sim.rng("net", "transport")
+        # Hot-path metric handles, resolved once (send/deliver run for
+        # every simulated packet).
+        self._sent = sim.metrics.counter("net.sent")
+        self._delivered = sim.metrics.counter("net.delivered")
+        self._latency = sim.metrics.histogram("net.latency")
+        self._labels: dict[str, str] = {}
 
     def register(self, peer_id: str, handler: Callable[[NetMessage], None]) -> None:
         """Attach *handler* for messages addressed to *peer_id*."""
@@ -78,14 +84,17 @@ class Transport:
             msg_id=self._next_msg_id,
         )
         self._next_msg_id += 1
-        self.sim.metrics.counter("net.sent").inc()
-        self.sim.schedule(latency, self._deliver, message, label=f"net:{kind}")
+        self._sent.inc()
+        label = self._labels.get(kind)
+        if label is None:
+            label = self._labels[kind] = f"net:{kind}"
+        self.sim.schedule(latency, self._deliver, message, label=label)
         return True
 
     def _deliver(self, message: NetMessage) -> None:
         handler = self._handlers.get(message.dst)
         if handler is None:
             return  # peer left between send and delivery
-        self.sim.metrics.counter("net.delivered").inc()
-        self.sim.metrics.histogram("net.latency").observe(self.sim.now - message.sent_at)
+        self._delivered.inc()
+        self._latency.observe(self.sim.now - message.sent_at)
         handler(message)

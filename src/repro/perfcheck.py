@@ -1,0 +1,134 @@
+"""Compare a fresh benchmark run against the committed perf trajectory.
+
+The repository commits a ``repro.perf-trajectory/v1`` file per guarded
+benchmark (``BENCH_e1_scaling.json``, ``BENCH_e3_crossmsgs.json`` at the
+repo root).  Each file records the history of the benchmark's headline
+metric — ``blocks_per_wall_sec``, canonical-chain blocks committed per
+wall-clock second — across the optimization work, newest entry last.
+
+This tool takes a fresh ``repro.bench/v1`` output (what the benchmarks
+write to ``$BENCH_OUT_DIR``) and fails when the fresh metric has regressed
+more than the tolerated fraction below the newest committed entry::
+
+    python -m repro.perfcheck out/BENCH_e1_scaling.json BENCH_e1_scaling.json
+
+Exit status 0 = within tolerance, 1 = regression, 2 = usage/format error.
+
+Tolerance resolution order: ``--tolerance`` flag, ``PERF_TOLERANCE``
+environment variable, the trajectory file's ``tolerance`` field, 0.2.
+Absolute wall-clock throughput is machine-dependent, so the guard is
+meaningful on hardware comparable to what produced the committed entry
+(CI uses one runner class); cross-machine runs should widen the tolerance
+rather than disable the check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Optional
+
+METRIC = "blocks_per_wall_sec"
+DEFAULT_TOLERANCE = 0.2
+
+
+class PerfCheckError(Exception):
+    """Malformed input or trajectory file."""
+
+
+def _load(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise PerfCheckError(f"cannot read {path}: {exc}") from exc
+
+
+def fresh_metric(document: dict) -> float:
+    """The headline metric of a ``repro.bench/v1`` output document."""
+    perf = (document.get("extra") or {}).get("perf") or document.get("perf")
+    if not isinstance(perf, dict) or METRIC not in perf:
+        raise PerfCheckError(f"bench output has no extra.perf.{METRIC}")
+    return float(perf[METRIC])
+
+
+def committed_entry(document: dict) -> dict:
+    """The newest entry of a ``repro.perf-trajectory/v1`` document."""
+    if document.get("schema") != "repro.perf-trajectory/v1":
+        raise PerfCheckError("committed file is not a repro.perf-trajectory/v1")
+    trajectory = document.get("trajectory") or []
+    if not trajectory:
+        raise PerfCheckError("committed trajectory is empty")
+    entry = trajectory[-1]
+    if METRIC not in entry:
+        raise PerfCheckError(f"newest trajectory entry lacks {METRIC}")
+    return entry
+
+
+def compare(
+    fresh: dict, committed: dict, tolerance: Optional[float] = None
+) -> dict:
+    """Compare documents; returns a result dict with an ``ok`` verdict."""
+    entry = committed_entry(committed)
+    if tolerance is None:
+        tolerance = committed.get("tolerance", DEFAULT_TOLERANCE)
+    tolerance = float(tolerance)
+    if not 0.0 <= tolerance < 1.0:
+        raise PerfCheckError(f"tolerance must be in [0, 1), got {tolerance}")
+    baseline = float(entry[METRIC])
+    measured = fresh_metric(fresh)
+    floor = baseline * (1.0 - tolerance)
+    return {
+        "bench": committed.get("bench", "?"),
+        "metric": METRIC,
+        "committed": baseline,
+        "committed_label": entry.get("label", "?"),
+        "measured": measured,
+        "floor": floor,
+        "tolerance": tolerance,
+        "ratio": measured / baseline if baseline else float("inf"),
+        "ok": measured >= floor,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perfcheck", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("fresh", help="fresh BENCH_*.json written by a benchmark run")
+    parser.add_argument("committed", help="committed perf-trajectory BENCH_*.json")
+    parser.add_argument(
+        "--tolerance", type=float, default=None,
+        help="allowed fractional regression (default: $PERF_TOLERANCE, else "
+        "the trajectory file's tolerance, else 0.2)",
+    )
+    args = parser.parse_args(argv)
+    tolerance = args.tolerance
+    if tolerance is None and os.environ.get("PERF_TOLERANCE"):
+        tolerance = float(os.environ["PERF_TOLERANCE"])
+    try:
+        result = compare(_load(args.fresh), _load(args.committed), tolerance)
+    except PerfCheckError as exc:
+        print(f"perfcheck: error: {exc}", file=sys.stderr)
+        return 2
+    verdict = "OK" if result["ok"] else "REGRESSION"
+    print(
+        f"perfcheck [{result['bench']}] {verdict}: {METRIC} "
+        f"measured={result['measured']:.1f} committed={result['committed']:.1f} "
+        f"({result['ratio']:.2f}x, floor={result['floor']:.1f} "
+        f"at tolerance {result['tolerance']:.0%})"
+    )
+    if not result["ok"]:
+        print(
+            f"perfcheck: fresh run is more than {result['tolerance']:.0%} below "
+            f"the committed entry '{result['committed_label']}' — either fix the "
+            "regression or, if intentional, append a new trajectory entry.",
+            file=sys.stderr,
+        )
+    return 0 if result["ok"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

@@ -99,7 +99,11 @@ class EventQueue:
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        # Heap entries are (time, tie, seq, event) tuples: seq is unique, so
+        # comparisons resolve on the first three fields in C and never reach
+        # the Event object.  The key is exactly Event.__lt__'s key, so pop
+        # order is identical to a heap of bare events.
+        self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._live = 0
         self._tie_shuffle: Optional[int] = None
@@ -136,8 +140,8 @@ class EventQueue:
         """Schedule *callback* at absolute simulated *time*."""
         tie = 0 if self._tie_shuffle is None else tie_mix(self._tie_shuffle, self._seq)
         event = Event(time, self._seq, callback, args, kwargs, label, tie=tie)
+        heapq.heappush(self._heap, (time, tie, self._seq, event))
         self._seq += 1
-        heapq.heappush(self._heap, event)
         self._live += 1
         return event
 
@@ -147,7 +151,7 @@ class EventQueue:
         Raises :class:`IndexError` when the queue holds no live events.
         """
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = heapq.heappop(self._heap)[3]
             if event.cancelled:
                 continue
             self._live -= 1
@@ -157,15 +161,15 @@ class EventQueue:
 
     def peek_time(self) -> Optional[float]:
         """Return the timestamp of the next live event, or ``None``."""
-        while self._heap and self._heap[0].cancelled:
+        while self._heap and self._heap[0][3].cancelled:
             heapq.heappop(self._heap)
         if not self._heap:
             return None
-        return self._heap[0].time
+        return self._heap[0][0]
 
     def discard_cancelled(self) -> None:
         """Compact the heap, dropping cancelled events eagerly."""
-        live = [e for e in self._heap if not e.cancelled]
+        live = [entry for entry in self._heap if not entry[3].cancelled]
         heapq.heapify(live)
         self._heap = live
 
@@ -176,4 +180,4 @@ class EventQueue:
 
     def iter_pending(self) -> Iterator[Event]:
         """Yield live events in an arbitrary order (inspection only)."""
-        return (e for e in self._heap if not e.cancelled)
+        return (entry[3] for entry in self._heap if not entry[3].cancelled)

@@ -50,6 +50,11 @@ class DispatchBus:
         self.suppressed: dict[str, int] = {}
         self._pre_hooks: list[Callable[[Event], None]] = []
         self._post_hooks: list[Callable[[Event, float], None]] = []
+        # Tuple snapshots iterated by dispatch(): registration is rare but
+        # dispatch runs per event, so snapshotting at mutation time replaces
+        # a defensive list copy on every single event.
+        self._pre_snapshot: tuple = ()
+        self._post_snapshot: tuple = ()
 
     @staticmethod
     def label_of(event: Event) -> str:
@@ -59,10 +64,12 @@ class DispatchBus:
     def on_pre_dispatch(self, hook: Callable[[Event], None]) -> Callable[[], None]:
         """Register *hook* to run before each event fires; returns a remover."""
         self._pre_hooks.append(hook)
+        self._pre_snapshot = tuple(self._pre_hooks)
 
         def _remove() -> None:
             if hook in self._pre_hooks:
                 self._pre_hooks.remove(hook)
+                self._pre_snapshot = tuple(self._pre_hooks)
 
         return _remove
 
@@ -71,18 +78,20 @@ class DispatchBus:
     ) -> Callable[[], None]:
         """Register *hook* to run after each event fires; returns a remover."""
         self._post_hooks.append(hook)
+        self._post_snapshot = tuple(self._post_hooks)
 
         def _remove() -> None:
             if hook in self._post_hooks:
                 self._post_hooks.remove(hook)
+                self._post_snapshot = tuple(self._post_hooks)
 
         return _remove
 
     # -- dispatch -------------------------------------------------------
     def dispatch(self, event: Event) -> Any:
         """Fire *event* through the hooks, recording counts and timings."""
-        label = self.label_of(event)
-        for hook in list(self._pre_hooks):
+        label = event.label or getattr(event.callback, "__name__", "?")
+        for hook in self._pre_snapshot:
             hook(event)
         if event.cancelled:
             self.suppressed[label] = self.suppressed.get(label, 0) + 1
@@ -98,7 +107,7 @@ class DispatchBus:
             self.wall_seconds[label] = self.wall_seconds.get(label, 0.0) + elapsed
             if elapsed > self.max_wall_seconds.get(label, 0.0):
                 self.max_wall_seconds[label] = elapsed
-            for hook in list(self._post_hooks):
+            for hook in self._post_snapshot:
                 hook(event, elapsed)
 
     # -- reporting ------------------------------------------------------
@@ -189,6 +198,11 @@ class Simulator:
         # Sibling slot for a repro.telemetry.InvariantMonitor, under the
         # same contract: duck-typed, metrics-only, digest-neutral.
         self.invariant_monitor = None
+        # Scratch space for cross-component memoization of deterministic
+        # computations (e.g. the runtime's shared block-execution cache).
+        # Contents must never influence observable simulation behaviour —
+        # only avoid recomputing results that are pure functions of it.
+        self.memo: dict = {}
         self._events_executed = 0
         self._halted = False
 

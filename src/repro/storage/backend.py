@@ -1,0 +1,124 @@
+"""The pluggable state-storage substrate under :class:`StateTree`.
+
+A :class:`StateBackend` is the *deepest* level of a state tree: the
+read-only floor the copy-on-write layer chain bottoms out on.  The tree
+never writes through to it — block execution writes land in private
+layers, forks share frozen layers structurally — so one backend instance
+may safely back any number of forks.
+
+The contract exists so the in-memory default can later be swapped for an
+out-of-core store (sqlite/LMDB-style, the ROADMAP's millions-of-accounts
+item) without touching the VM, chain or runtime layers: an out-of-core
+backend only has to answer point reads and (bucket-)scans.
+
+Keys are strings; values are treated as immutable records (the VM-wide
+convention — actors copy before mutating).  ``bucket_of`` is the single
+source of truth for the key → bucket placement the incremental state-root
+commitment uses; backends must group by the same function so per-bucket
+scans line up with the tree's cached bucket digests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+from zlib import crc32
+
+try:  # Python 3.8+: typing.Protocol
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - very old interpreters only
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+_BUCKET_CACHE: Dict[str, int] = {}
+_BUCKET_CACHE_N = 256  # placements cached for the default bucket count only
+
+
+def bucket_of(key: str, n_buckets: int) -> int:
+    """Deterministic key → bucket placement for the sharded state root.
+
+    crc32 is stable across processes and platforms (unlike ``hash()``,
+    which is salted per process).  Placements for the default bucket count
+    are memoized: state keys repeat constantly (every balance update hits
+    the same key) and the key space is bounded by the account space.
+    """
+    if n_buckets == _BUCKET_CACHE_N:
+        bucket = _BUCKET_CACHE.get(key)
+        if bucket is None:
+            bucket = crc32(key.encode("utf-8")) % n_buckets
+            _BUCKET_CACHE[key] = bucket
+        return bucket
+    return crc32(key.encode("utf-8")) % n_buckets
+
+
+@runtime_checkable
+class StateBackend(Protocol):
+    """Read-only floor of a state tree (point reads + deterministic scans)."""
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Value stored at *key*, or *default*."""
+        ...
+
+    def has(self, key: str) -> bool:
+        """True when *key* is stored."""
+        ...
+
+    def items(self) -> Iterator[Tuple[str, Any]]:
+        """All (key, value) pairs, in sorted key order."""
+        ...
+
+    def bucket_items(self, bucket: int, n_buckets: int) -> Iterator[Tuple[str, Any]]:
+        """The pairs whose :func:`bucket_of` placement equals *bucket*."""
+        ...
+
+    def __len__(self) -> int:
+        ...
+
+
+class MemoryBackend:
+    """The in-memory :class:`StateBackend` (and the default: empty).
+
+    Entries are bucket-grouped at construction so the incremental root's
+    per-bucket scans cost O(bucket) rather than O(state).  The grouping is
+    recomputed lazily per ``n_buckets`` requested, since the tree owns the
+    bucket count.
+    """
+
+    def __init__(self, entries: Optional[Mapping[str, Any]] = None) -> None:
+        self._entries: Dict[str, Any] = dict(entries or {})
+        self._grouped: Optional[Tuple[int, Dict[int, Dict[str, Any]]]] = None
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._entries.get(key, default)
+
+    def has(self, key: str) -> bool:
+        return key in self._entries
+
+    def items(self) -> Iterator[Tuple[str, Any]]:
+        for key in sorted(self._entries):
+            yield key, self._entries[key]
+
+    def bucket_items(self, bucket: int, n_buckets: int) -> Iterator[Tuple[str, Any]]:
+        if not self._entries:
+            return iter(())
+        grouped = self._grouped
+        if grouped is None or grouped[0] != n_buckets:
+            by_bucket: Dict[int, Dict[str, Any]] = {}
+            for key, value in self._entries.items():
+                by_bucket.setdefault(bucket_of(key, n_buckets), {})[key] = value
+            grouped = (n_buckets, by_bucket)
+            self._grouped = grouped
+        return iter(grouped[1].get(bucket, {}).items())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Shared empty floor for trees constructed without an explicit backend.
+#: Read-only by contract, so sharing one instance across all trees is safe.
+EMPTY_BACKEND = MemoryBackend()
+
+
+__all__ = ["StateBackend", "MemoryBackend", "EMPTY_BACKEND", "bucket_of"]

@@ -48,12 +48,21 @@ class Actor:
 
     @classmethod
     def exported_methods(cls) -> dict:
-        """Return {name: function} of all exported methods."""
+        """Return {name: function} of all exported methods.
+
+        Computed once per class: actor classes are defined at import time
+        and never gain exports afterwards, and this runs on every message
+        dispatch.  Cached per concrete class (``vars``, not inherited).
+        """
+        cached = vars(cls).get("_exported_cache")
+        if cached is not None:
+            return cached
         methods = {}
         for klass in reversed(cls.__mro__):
             for name, attr in vars(klass).items():
                 if callable(attr) and getattr(attr, _EXPORT_MARK, False):
                     methods[name] = attr
+        cls._exported_cache = methods
         return methods
 
     def dispatch(self, ctx, method: str, params: Any) -> Any:

