@@ -22,6 +22,7 @@ from common import (
     dispatch_rows,
     fund_subnet_senders,
     perf_snapshot,
+    profile_enabled,
     run_once,
     show_table,
     start_subnet_payments,
@@ -42,6 +43,11 @@ def _hierarchical_throughput(k: int):
         subnet_block_time=BLOCK_TIME,
         max_block_messages=BLOCK_CAPACITY,
         checkpoint_period=20,
+        # Continuous profiling on the run that feeds the perf trajectory
+        # (the largest hierarchy): BENCH_e1_scaling.json gains a `profile`
+        # section and perfcheck can name culprits when the gate trips.
+        # BENCH_PROFILE=0 opts out.
+        profile=profile_enabled(default=k == max(SUBNET_COUNTS)),
     )
     workloads = []
     for subnet in subnets:
@@ -52,6 +58,11 @@ def _hierarchical_throughput(k: int):
     system.run_for(MEASURE_SECONDS)
     perf = perf_snapshot(system.sim, time.perf_counter() - wall_start)
     committed = sum(w.stats.committed for w in workloads)
+    if system.profiler is not None:
+        # End attribution here: the baseline runs that follow share the
+        # process, and their samples must not pollute this run's profile
+        # (write_bench_json's stop() is then a no-op).
+        system.profiler.stop()
     return committed / (system.sim.now - start), dispatch_rows(system.sim), perf
 
 
@@ -132,6 +143,15 @@ def test_e1_horizontal_scaling(benchmark):
     write_bench_json("e1_scaling", rows=rows, extra={"perf": largest_perf})
     assert dispatch, "dispatch bus recorded no events"
     assert all(events > 0 for _, events, *_ in dispatch)
+
+    # Profiling (on by default for the largest run): label CPU shares are
+    # fractions of the sample total and must account for ~100% of samples.
+    from common import LAST_SYSTEM
+
+    profiler = getattr(LAST_SYSTEM, "profiler", None)
+    if profiler is not None and profiler.label_shares():
+        total_share = sum(profiler.label_shares().values())
+        assert abs(total_share - 1.0) < 1e-9, total_share
 
     by_k = {row["subnets"]: row for row in rows}
     capacity = BLOCK_CAPACITY / BLOCK_TIME

@@ -17,6 +17,7 @@ import time
 from repro.analysis import Table
 from repro.crypto.cid import cid_cache_stats
 from repro.hierarchy import HierarchicalSystem, SubnetConfig
+from repro.telemetry import write_chrome_trace
 from repro.workloads import PaymentWorkload
 
 # Stashed by run_once / capture_sim so write_bench_json can snapshot the
@@ -40,9 +41,24 @@ def capture_sim(sim):
 def capture_system(system):
     """Remember *system* so a crashing bench can dump a postmortem bundle."""
     global LAST_SYSTEM
+    previous = LAST_SYSTEM
+    if previous is not None and previous is not system:
+        # A lingering sampler from an earlier system in the same process
+        # would keep profiling (and taxing) this run's thread.
+        profiler = getattr(previous, "profiler", None)
+        if profiler is not None:
+            profiler.stop()
     LAST_SYSTEM = system
     capture_sim(system.sim)
     return system
+
+
+def profile_enabled(default: bool = False) -> bool:
+    """Whether benches should profile: $BENCH_PROFILE overrides *default*."""
+    flag = os.environ.get("BENCH_PROFILE")
+    if flag is None or flag == "":
+        return default
+    return flag != "0"
 
 
 def run_once(benchmark, fn):
@@ -102,6 +118,23 @@ def write_bench_json(name: str, rows=None, sim=None, extra=None) -> str:
     }
     if extra:
         document["extra"] = _json_sanitize(extra)
+    profiler = None
+    if LAST_SYSTEM is not None and sim is not None and LAST_SYSTEM.sim is sim:
+        profiler = getattr(LAST_SYSTEM, "profiler", None)
+    if profiler is not None:
+        # Stop before snapshotting so mem/alloc accounting is final, then
+        # export gauges ahead of the metrics snapshot below.
+        profiler.stop()
+        profiler.publish(sim.metrics)
+        document["profile"] = _json_sanitize(profiler.snapshot())
+        out = bench_out_dir()
+        profiler.write_collapsed(os.path.join(out, f"PROFILE_{name}.collapsed"))
+        write_chrome_trace(
+            os.path.join(out, f"TRACE_{name}_profile.json"),
+            sim,
+            getattr(LAST_SYSTEM, "span_tracer", None),
+            profiler=profiler,
+        )
     if sim is not None:
         sim.dispatch.publish()
         # CID memoization effectiveness.  The underlying stats are
@@ -209,11 +242,15 @@ def build_hierarchy(
     root_block_time: float = 0.5,
     wallet_funds=None,
     monitors: bool = True,
+    profile=None,
 ):
     """A rootnet plus *n_subnets* sibling subnets, started.
 
     Benchmarks run with live invariant monitors on by default (digest- and
     latency-neutral); postmortem bundles land in the bench output dir.
+    ``profile=None`` defers to ``$BENCH_PROFILE``; ``True`` starts the
+    sampling profiler (``write_bench_json`` stops it and emits the
+    ``profile`` section plus collapsed-stack/Perfetto artifacts).
     """
     system = HierarchicalSystem(
         seed=seed,
@@ -223,8 +260,12 @@ def build_hierarchy(
         wallet_funds=wallet_funds or {},
     ).start()
     capture_system(system)
-    if monitors:
-        system.enable_telemetry(monitors=True, postmortem_dir=bench_out_dir())
+    if profile is None:
+        profile = profile_enabled()
+    if monitors or profile:
+        system.enable_telemetry(
+            monitors=monitors, postmortem_dir=bench_out_dir(), profile=profile
+        )
     subnets = []
     for i in range(n_subnets):
         subnets.append(

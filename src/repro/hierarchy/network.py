@@ -124,6 +124,7 @@ class HierarchicalSystem:
         self.health_probe = None
         self.invariant_monitor = None
         self.flight_recorder = None
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -217,6 +218,9 @@ class HierarchicalSystem:
         health_interval: Optional[float] = None,
         monitors: bool = False,
         postmortem_dir: Optional[str] = None,
+        profile: bool = False,
+        profile_interval: float = 0.01,
+        profile_memory: bool = False,
     ):
         """Install causal span tracing (and, optionally, health sampling
         and live invariant monitors).
@@ -226,7 +230,14 @@ class HierarchicalSystem:
         default auditors) and a
         :class:`~repro.telemetry.recorder.FlightRecorder` that dumps a
         postmortem bundle into *postmortem_dir* (or ``$REPRO_POSTMORTEM_DIR``)
-        on every violation.  All of it is digest-neutral.
+        on every violation.  ``profile=True`` starts a
+        :class:`~repro.telemetry.profiler.SamplingProfiler` on ``self.profiler``
+        — background-thread CPU sampling every *profile_interval* wall
+        seconds, attributed to dispatch labels, plus ``mem.*`` resource
+        gauges; ``profile_memory=True`` adds per-label tracemalloc
+        allocation accounting (noticeably more overhead — keep it off for
+        perf-gated runs).  Stop/export via ``self.profiler`` (benchmarks do
+        this in ``write_bench_json``).  All of it is digest-neutral.
 
         Imported lazily so the hierarchy layer carries no telemetry
         dependency unless a run asks for it.  Idempotent; returns the
@@ -251,6 +262,12 @@ class HierarchicalSystem:
             ).install()
             if self.health_probe is not None:
                 self.health_probe.on_sample(self.flight_recorder.note_health)
+        if profile and self.profiler is None:
+            from repro.telemetry import SamplingProfiler
+
+            self.profiler = SamplingProfiler(
+                self.sim, interval=profile_interval, memory=profile_memory
+            ).start()
         return self.span_tracer
 
     # ------------------------------------------------------------------

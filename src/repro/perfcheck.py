@@ -93,6 +93,26 @@ def compare(
     }
 
 
+def culprit_report(fresh: dict, committed: dict) -> Optional[str]:
+    """Why did the gate trip?  A profdiff of committed → fresh profiles.
+
+    Returns ``None`` unless both documents carry a profile — the fresh
+    bench output's ``profile`` section (written by a ``BENCH_PROFILE=1``
+    run) and a ``profile`` summary embedded in the newest committed
+    trajectory entry.
+    """
+    from repro.telemetry.profdiff import diff_profiles, extract_profile, render_diff
+
+    old = extract_profile(committed)
+    new = extract_profile(fresh)
+    if old is None or new is None:
+        return None
+    return (
+        "perfcheck: profile culprit report (committed baseline → fresh run):\n\n"
+        + render_diff(diff_profiles(old, new))
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.perfcheck", description=__doc__.splitlines()[0]
@@ -109,7 +129,9 @@ def main(argv=None) -> int:
     if tolerance is None and os.environ.get("PERF_TOLERANCE"):
         tolerance = float(os.environ["PERF_TOLERANCE"])
     try:
-        result = compare(_load(args.fresh), _load(args.committed), tolerance)
+        fresh_doc = _load(args.fresh)
+        committed_doc = _load(args.committed)
+        result = compare(fresh_doc, committed_doc, tolerance)
     except PerfCheckError as exc:
         print(f"perfcheck: error: {exc}", file=sys.stderr)
         return 2
@@ -127,6 +149,9 @@ def main(argv=None) -> int:
             "regression or, if intentional, append a new trajectory entry.",
             file=sys.stderr,
         )
+        report = culprit_report(fresh_doc, committed_doc)
+        if report:
+            print("\n" + report)
     return 0 if result["ok"] else 1
 
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import os
+import threading
 import time as _wallclock
 from typing import Any, Callable, Optional
 
@@ -14,6 +15,28 @@ from repro.sim.tracing import TraceLog
 
 class SimulationError(RuntimeError):
     """Raised when the simulator is driven incorrectly."""
+
+
+#: Per-thread stacks of the dispatch label currently executing inside
+#: :meth:`DispatchBus.dispatch`, keyed by ``threading.get_ident()``.  The
+#: executing thread pushes/pops its own stack (safe under the GIL); a
+#: *different* thread — the sampling profiler in
+#: ``repro.telemetry.profiler`` — reads it to attribute CPU samples to the
+#: event label the sim thread is running right now.  A stack, not a single
+#: slot, so nested dispatches attribute to the innermost label.
+_DISPATCH_LABEL_STACKS: dict[int, list] = {}
+
+
+def current_dispatch_label(thread_id: Optional[int] = None) -> Optional[str]:
+    """The event label *thread_id* (default: this thread) is dispatching.
+
+    ``None`` when that thread is not inside :meth:`DispatchBus.dispatch` —
+    i.e. it is running scheduler machinery, test code, or is idle.
+    """
+    if thread_id is None:
+        thread_id = threading.get_ident()
+    stack = _DISPATCH_LABEL_STACKS.get(thread_id)
+    return stack[-1] if stack else None
 
 
 class DispatchBus:
@@ -30,6 +53,11 @@ class DispatchBus:
       component under test;
     - *post-dispatch* hooks run after the event fired (even if the callback
       raised) with the elapsed wall-clock seconds — the profiling point.
+
+    While an event's callback runs, its label is readable through
+    :func:`current_dispatch_label` (per executing thread, nesting-aware) —
+    the attribution point for the sampling profiler in
+    ``repro.telemetry.profiler``.
 
     Wall-clock timings are real (host) time, not simulated time: they answer
     "where does this run spend its CPU?".  They are kept out of the trace
@@ -98,11 +126,14 @@ class DispatchBus:
             if self.trace is not None:
                 self.trace.emit("dispatch.suppressed", label)
             return None
+        label_stack = _DISPATCH_LABEL_STACKS.setdefault(threading.get_ident(), [])
+        label_stack.append(label)
         start = _wallclock.perf_counter()
         try:
             return event.fire()
         finally:
             elapsed = _wallclock.perf_counter() - start
+            label_stack.pop()
             self.counts[label] = self.counts.get(label, 0) + 1
             self.wall_seconds[label] = self.wall_seconds.get(label, 0.0) + elapsed
             if elapsed > self.max_wall_seconds.get(label, 0.0):

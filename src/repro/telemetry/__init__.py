@@ -24,8 +24,20 @@ from repro.telemetry.monitor import (
     MembershipAuditor,
     SupplyAuditor,
 )
+from repro.telemetry.profiler import SamplingProfiler
 from repro.telemetry.recorder import FlightRecorder
 from repro.telemetry.spans import SpanTracer, route_shape, subnet_level
+
+
+def __getattr__(name):
+    # Lazy: importing these eagerly would shadow `python -m
+    # repro.telemetry.profdiff` (runpy warns when the CLI module is
+    # already in sys.modules via its package).
+    if name in ("diff_profiles", "render_diff"):
+        from repro.telemetry import profdiff
+
+        return getattr(profdiff, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "CheckpointAuditor",
@@ -36,8 +48,11 @@ __all__ = [
     "InvariantMonitor",
     "InvariantViolation",
     "MembershipAuditor",
+    "SamplingProfiler",
     "SpanTracer",
     "SupplyAuditor",
+    "diff_profiles",
+    "render_diff",
     "route_shape",
     "subnet_level",
     "telemetry_snapshot",

@@ -31,6 +31,7 @@ def telemetry_snapshot(
     tracer=None,
     probe=None,
     monitor=None,
+    profiler=None,
     wall_seconds: Optional[float] = None,
     extra: Optional[dict] = None,
 ) -> dict:
@@ -64,6 +65,8 @@ def telemetry_snapshot(
         snapshot["health"] = {path: dict(s) for path, s in sorted(probe.latest.items())}
     if monitor is not None:
         snapshot["invariants"] = monitor.summary()
+    if profiler is not None:
+        snapshot["profile"] = profiler.snapshot()
     if extra:
         snapshot["extra"] = extra
     return snapshot
@@ -159,14 +162,19 @@ def write_prometheus(path: str, sim) -> str:
 # ----------------------------------------------------------------------
 _SUBNET_PID = 1
 _DISPATCH_PID = 2
+_PROFILE_PID = 3
 
 
-def to_chrome_trace(sim, tracer=None, top_dispatch: int = 16) -> dict:
+def to_chrome_trace(sim, tracer=None, top_dispatch: int = 16, profiler=None) -> dict:
     """Chrome trace-event JSON: subnet span tracks + a dispatch profile.
 
     Cross-net/checkpoint spans use **simulated** microseconds; the
     dispatch track lays each label's cumulative **wall-clock** time
-    end-to-end (a profile, not a timeline).
+    end-to-end (a profile, not a timeline).  Passing a
+    :class:`~repro.telemetry.profiler.SamplingProfiler` adds a third
+    process: per-label sampled-CPU slices (samples × interval laid
+    end-to-end, top leaf frames in the args) and an RSS counter track on
+    the profiler's real wall-clock timeline.
     """
     events: list[dict] = []
     events.append(_meta(_SUBNET_PID, "process_name", name="subnets (simulated time)"))
@@ -246,6 +254,46 @@ def to_chrome_trace(sim, tracer=None, top_dispatch: int = 16) -> dict:
             "args": {"events": row["events"], "mean_us": row["mean_s"] * 1e6},
         })
         offset += duration
+
+    if profiler is not None:
+        snapshot = profiler.snapshot()
+        events.append(
+            _meta(_PROFILE_PID, "process_name", name="cpu profile (sampled wall clock)")
+        )
+        events.append(
+            _meta(_PROFILE_PID, "thread_name", tid=1, name="samples by dispatch label")
+        )
+        interval_us = snapshot["interval_s"] * 1e6
+        offset = 0.0
+        for label, row in snapshot["labels"].items():
+            if not row["samples"]:
+                continue
+            duration = max(row["samples"] * interval_us, 1.0)
+            events.append({
+                "name": label,
+                "cat": "profile",
+                "ph": "X",
+                "ts": offset,
+                "dur": duration,
+                "pid": _PROFILE_PID,
+                "tid": 1,
+                "args": {
+                    "samples": row["samples"],
+                    "cpu_share": row["cpu_share"],
+                    "alloc_bytes": row["alloc_bytes"],
+                    "top_frames": [frame for frame, _ in row["top_frames"][:5]],
+                },
+            })
+            offset += duration
+        for elapsed, rss in profiler.rss_series():
+            events.append({
+                "name": "mem.rss_bytes",
+                "cat": "profile",
+                "ph": "C",
+                "ts": elapsed * 1e6,
+                "pid": _PROFILE_PID,
+                "args": {"bytes": rss},
+            })
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
@@ -259,8 +307,14 @@ def _meta(pid: int, kind: str, tid: int = 0, name: str = "") -> dict:
     }
 
 
-def write_chrome_trace(path: str, sim, tracer=None, top_dispatch: int = 16) -> str:
+def write_chrome_trace(
+    path: str, sim, tracer=None, top_dispatch: int = 16, profiler=None
+) -> str:
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(to_chrome_trace(sim, tracer, top_dispatch), handle, allow_nan=False)
+        json.dump(
+            to_chrome_trace(sim, tracer, top_dispatch, profiler=profiler),
+            handle,
+            allow_nan=False,
+        )
         handle.write("\n")
     return path

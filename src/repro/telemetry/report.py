@@ -40,14 +40,44 @@ def _latency_rows(histograms: dict) -> list:
     return rows
 
 
+def _invariant_counters(counters: dict) -> dict:
+    return {
+        name: counters[name]
+        for name in sorted(counters)
+        if name.startswith("invariant.")
+    }
+
+
+def _cache_stats(counters: dict, gauges: dict) -> dict:
+    """CID-cache counters and state-root work gauges (PR 5 hot paths)."""
+    stats = {
+        name: counters[name]
+        for name in sorted(counters)
+        if name.startswith("cid.cache.")
+    }
+    hits = stats.get("cid.cache.hits")
+    misses = stats.get("cid.cache.misses")
+    if hits is not None and misses is not None and hits + misses:
+        stats["cid.cache.hit_rate"] = hits / (hits + misses)
+    for name in sorted(gauges):
+        if name.startswith("state.root.") or name.startswith("state.tree."):
+            stats[name] = gauges[name]
+    return stats
+
+
 def summarize(snapshot: dict) -> dict:
     """The report's content as plain data — what ``--json`` emits."""
     histograms = snapshot.get("histograms", {})
+    counters = snapshot.get("counters", {}) or {}
+    gauges = snapshot.get("gauges", {}) or {}
     return {
         "sim": snapshot.get("sim", {}),
         "wall_seconds": snapshot.get("wall_seconds"),
         "spans": snapshot.get("spans"),
         "invariants": snapshot.get("invariants"),
+        "invariant_counters": _invariant_counters(counters),
+        "caches": _cache_stats(counters, gauges),
+        "profile": snapshot.get("profile"),
         "hops": [
             {"hop": kind, "level": level, **summary}
             for kind, level, summary in _latency_rows(histograms)
@@ -106,6 +136,43 @@ def render(snapshot: dict) -> str:
                 f"{latest.get('subnet')}: {latest.get('description')}"
             )
         sections.append(line)
+
+    counters = snapshot.get("counters", {}) or {}
+    gauges = snapshot.get("gauges", {}) or {}
+
+    invariant_counters = _invariant_counters(counters)
+    if invariant_counters:
+        table = Table("invariant counters", ["counter", "value"])
+        for name, value in invariant_counters.items():
+            table.add_row(name, value)
+        sections.append(table.render())
+
+    caches = _cache_stats(counters, gauges)
+    if caches:
+        table = Table("caches & state-root work", ["metric", "value"])
+        for name, value in caches.items():
+            table.add_row(name, value)
+        sections.append(table.render())
+
+    profile = snapshot.get("profile")
+    if profile:
+        labels = profile.get("labels") or {}
+        table = Table(
+            f"CPU profile — {profile.get('samples', 0)} samples "
+            f"@ {profile.get('interval_s', '?')}s over "
+            f"{(profile.get('active_s') or 0.0):.2f}s wall",
+            ["label", "samples", "cpu %", "alloc KiB", "hottest frame"],
+        )
+        for label, row in list(labels.items())[:12]:
+            top = row.get("top_frames") or []
+            table.add_row(
+                label,
+                row.get("samples", 0),
+                row.get("cpu_share", 0.0) * 100,
+                row.get("alloc_bytes", 0) / 1024,
+                top[0][0] if top else "-",
+            )
+        sections.append(table.render())
 
     histograms = snapshot.get("histograms", {})
 

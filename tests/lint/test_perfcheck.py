@@ -4,7 +4,14 @@ import json
 
 import pytest
 
-from repro.perfcheck import PerfCheckError, compare, committed_entry, fresh_metric, main
+from repro.perfcheck import (
+    PerfCheckError,
+    compare,
+    committed_entry,
+    culprit_report,
+    fresh_metric,
+    main,
+)
 
 
 def _trajectory(bps, tolerance=0.2):
@@ -60,6 +67,59 @@ def test_malformed_inputs_raise():
         committed_entry({"schema": "repro.perf-trajectory/v1", "trajectory": []})
     with pytest.raises(PerfCheckError):
         compare(_bench(1.0), _trajectory(1.0), tolerance=1.5)
+
+
+def _mini_profile(share_by_label):
+    total = 100
+    return {
+        "schema": "repro.profile/v1",
+        "samples": total,
+        "active_s": 1.0,
+        "interval_s": 0.005,
+        "labels": {
+            label: {
+                "samples": int(share * total),
+                "cpu_share": share,
+                "alloc_bytes": 0,
+                "alloc_events": 0,
+                "top_frames": [],
+            }
+            for label, share in share_by_label.items()
+        },
+    }
+
+
+def test_culprit_report_requires_profiles_on_both_sides():
+    fresh, committed = _bench(100.0), _trajectory(700.0)
+    assert culprit_report(fresh, committed) is None
+    fresh["profile"] = _mini_profile({"hot": 0.8, "cold": 0.2})
+    assert culprit_report(fresh, committed) is None  # committed side bare
+    committed["trajectory"][-1]["profile"] = _mini_profile({"hot": 0.3, "cold": 0.7})
+    report = culprit_report(fresh, committed)
+    assert report is not None
+    assert "profile culprit report" in report
+    assert "hot" in report and "+50.0pp" in report
+
+
+def test_cli_prints_culprit_report_on_regression(tmp_path, capsys):
+    fresh_doc = _bench(100.0)
+    fresh_doc["profile"] = _mini_profile({"hot": 0.9, "cold": 0.1})
+    committed_doc = _trajectory(700.0)
+    committed_doc["trajectory"][-1]["profile"] = _mini_profile({"hot": 0.5, "cold": 0.5})
+    fresh = tmp_path / "fresh.json"
+    committed = tmp_path / "committed.json"
+    fresh.write_text(json.dumps(fresh_doc))
+    committed.write_text(json.dumps(committed_doc))
+    assert main([str(fresh), str(committed)]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+    assert "profile culprit report" in out
+    assert "worst regression first" in out
+
+    # Within tolerance: no culprit chatter on healthy runs.
+    fresh.write_text(json.dumps({**fresh_doc, "extra": {"perf": {"blocks_per_wall_sec": 690.0}}}))
+    assert main([str(fresh), str(committed)]) == 0
+    assert "culprit" not in capsys.readouterr().out
 
 
 def test_cli_end_to_end(tmp_path, capsys):
