@@ -116,8 +116,11 @@ class MirEngine(ConsensusEngine):
         self.node.broadcast("block", block)
 
     def handle(self, kind: str, payload: Any, sender: str) -> None:
-        if kind != "block" or not self.running:
+        if kind != "block":
             return
+        # No running guard: blocks self-certify via the sub-slot leader
+        # check, and a restarted node listens passively (engine stopped)
+        # until its head is fresh — see RoundRobinEngine.handle.
         block: FullBlock = payload
         sub_slot = block.header.consensus_data.get("sub_slot")
         if sub_slot is None:
@@ -129,3 +132,7 @@ class MirEngine(ConsensusEngine):
             return
         if self.node.receive_block(block, final=True):
             self._metric("accepted").inc()
+        elif block.height > self.node.head().height + 1:
+            self.node.request_block_range(
+                sender, self.node.head().height + 1, block.height - 1
+            )

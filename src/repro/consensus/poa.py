@@ -75,8 +75,13 @@ class RoundRobinEngine(ConsensusEngine):
         self.node.broadcast("block", block)
 
     def handle(self, kind: str, payload: Any, sender: str) -> None:
-        if kind != "block" or not self.running:
+        if kind != "block":
             return
+        # No running guard: blocks are self-certifying (slot-leader
+        # eligibility below), and a restarted node listens passively —
+        # engine stopped — until its head is fresh.  Dropping deliveries
+        # here would mark them gossip-seen yet never applied, wedging the
+        # node until the max_sync_wait fallback.
         block: FullBlock = payload
         slot = block.header.consensus_data.get("slot")
         if slot is None:
@@ -88,3 +93,9 @@ class RoundRobinEngine(ConsensusEngine):
             return
         if self.node.receive_block(block, final=True):
             self._metric("accepted").inc()
+        elif block.height > self.node.head().height + 1:
+            # Orphaned with a gap gossip's IHAVE history may no longer
+            # cover (long outage) — fetch the missing range directly.
+            self.node.request_block_range(
+                sender, self.node.head().height + 1, block.height - 1
+            )

@@ -81,8 +81,11 @@ class ProofOfStakeEngine(ConsensusEngine):
         self.node.broadcast("block", block)
 
     def handle(self, kind: str, payload: Any, sender: str) -> None:
-        if kind != "block" or not self.running:
+        if kind != "block":
             return
+        # No running guard: blocks self-certify via the stake-weighted
+        # leader check, and a restarted node listens passively (engine
+        # stopped) until its head is fresh — see RoundRobinEngine.handle.
         block: FullBlock = payload
         slot = block.header.consensus_data.get("slot")
         if slot is None:
@@ -94,3 +97,7 @@ class ProofOfStakeEngine(ConsensusEngine):
             return
         if self.node.receive_block(block, final=True):
             self._metric("accepted").inc()
+        elif block.height > self.node.head().height + 1:
+            self.node.request_block_range(
+                sender, self.node.head().height + 1, block.height - 1
+            )

@@ -106,8 +106,11 @@ class ProofOfWorkEngine(ConsensusEngine):
     # Network
     # ------------------------------------------------------------------
     def handle(self, kind: str, payload: Any, sender: str) -> None:
-        if kind != "block" or not self.running:
+        if kind != "block":
             return
+        # No running guard on acceptance: a restarted node listens
+        # passively (engine stopped) until its head is fresh — see
+        # RoundRobinEngine.handle.  Only mining stays gated on running.
         block: FullBlock = payload
         if block.header.consensus_data.get("engine") != self.NAME:
             self._metric("rejected").inc()
@@ -115,10 +118,14 @@ class ProofOfWorkEngine(ConsensusEngine):
         head_before = self.node.head()
         accepted = self.node.receive_block(block, final=False)
         if not accepted:
+            if block.height > self.node.head().height + 1:
+                self.node.request_block_range(
+                    sender, self.node.head().height + 1, block.height - 1
+                )
             return
         self._metric("accepted").inc()
         head_after = self.node.head()
-        if head_before is None or head_after.cid != head_before.cid:
+        if self.running and (head_before is None or head_after.cid != head_before.cid):
             # Our head moved (extension or reorg): abandon stale work.
             self._restart_mining()
 

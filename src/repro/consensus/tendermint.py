@@ -191,6 +191,15 @@ class TendermintEngine(ConsensusEngine):
     # Message handling
     # ------------------------------------------------------------------
     def handle(self, kind: str, payload: Any, sender: str) -> None:
+        if kind == "tm:commit":
+            # Commit certificates bypass the future-height buffer *and* the
+            # running guard: they are exactly how a validator stuck at an
+            # old height catches up, including a restarted node whose
+            # engine is paused until its head is fresh (certificates reach
+            # it eagerly or replayed through IHAVE/IWANT repair).  Round
+            # state stays quiet — _begin_height no-ops while stopped.
+            self._on_commit_cert(payload, sender)
+            return
         if not self.running:
             return
         height = payload["height"] if kind == "tm:proposal" else getattr(payload, "height", None)
@@ -267,13 +276,102 @@ class TendermintEngine(ConsensusEngine):
         if tally.get(None, 0) >= quorum and round_ == self.round and self.step == PRECOMMIT:
             self._start_round(round_ + 1)
 
-    def _commit(self, block: FullBlock) -> None:
+    # ------------------------------------------------------------------
+    # Commit certificates (straggler catch-up)
+    # ------------------------------------------------------------------
+    # A validator that misses the precommit quorum for a height is stuck:
+    # peers GC their vote books after committing and never re-send, so
+    # without help it rounds forever at a height everyone else has left
+    # (the catch-up problem production Tendermint solves with block sync).
+    # On every commit we therefore broadcast the block together with its
+    # >2/3 precommit set; a lagging validator verifies the certificate,
+    # adopts the block, and jumps to the chain head.  Gossip's lazy
+    # IHAVE/IWANT repair replays recent certificates to nodes that were
+    # partitioned or crashed when they were first published.
+    def _commit_certificate(self, block: FullBlock) -> tuple:
+        votes = []
+        for (height, round_), book in self._precommits.items():
+            if height != block.height:
+                continue
+            for voter, cid in book.items():
+                if cid == block.cid:
+                    votes.append(Vote(height, round_, PRECOMMIT, cid, voter))
+        # Canonical order (one vote per voter stands, per _record_vote).
+        return tuple(sorted(votes, key=lambda v: (v.round, v.voter)))
+
+    def _verify_commit_cert(self, block: FullBlock, votes) -> bool:
+        power = 0
+        seen = set()
+        for vote in votes:
+            if (
+                vote.vote_type != PRECOMMIT
+                or vote.height != block.height
+                or vote.block_cid != block.cid
+                or vote.voter in seen
+                or not self.validators.contains(vote.voter)
+            ):
+                return False
+            seen.add(vote.voter)
+            power += self.validators.by_node(vote.voter).power
+        return power >= self.validators.quorum_power
+
+    def _on_commit_cert(self, payload: dict, sender: str) -> None:
+        block: FullBlock = payload["block"]
+        votes = payload["votes"]
+        if not self._verify_commit_cert(block, votes):
+            self._metric("rejected").inc()
+            return
+        if block.height < self.height:
+            return  # already decided locally
+        if block.height == self.height:
+            # Our working height: commit through the ordinary path so the
+            # block-interval pacing stays identical to a self-commit (a
+            # zero-delay jump here would let fast peers drag followers
+            # ahead of the paced schedule and desynchronise rounds).
+            self._commit(block, cert=votes)
+            return
+        # Strictly ahead: we are at least one full height behind.
+        self._observe_block_interval(block)
+        self.node.receive_block(block, final=True)
+        head = self.node.head()
+        if head.height + 1 <= self.height:
+            # An orphaned future block: its ancestors never committed here
+            # and, after a long enough outage, are past gossip's IHAVE
+            # history — so fetch the gap directly from whoever sent the
+            # certificate (the orphan cascade then lands this block too).
+            self.node.request_block_range(sender, head.height + 1, block.height - 1)
+            return
+        # Jump to the head the certificate (plus any retried orphans)
+        # established and rejoin consensus at the next height.
+        self._metric("caught_up").inc()
+        self._gc_height(head.height)
+        self._decided_heights.update(
+            range(self.height, head.height + 1)
+        )
+        self.height = head.height + 1
+        self.locked_cid = None
+        self.locked_round = -1
+        self.round = -1
+        self.step = "commit-wait"
+        self._height_started_at = self.sim.now
+        self.sim.schedule(0.0, self._begin_height, self.height, label="tm:pace")
+
+    def _commit(self, block: FullBlock, cert: Optional[tuple] = None) -> None:
         if block.height in self._decided_heights:
             return
         self._decided_heights.add(block.height)
         self._observe_block_interval(block)
         self.node.receive_block(block, final=True)
         self._metric("committed").inc()
+        # Re-broadcast the certificate we received, or build one from our
+        # own precommit book (a commit reached via peer certificate may
+        # hold fewer than quorum local precommits).  A stopped engine
+        # (catching up before a restart resume) stays silent.
+        if self.running:
+            self.node.broadcast(
+                "tm:commit",
+                {"block": block, "votes": cert or self._commit_certificate(block)},
+            )
         self.sim.metrics.histogram(
             f"consensus.{self.node.subnet_id}.commit_round"
         ).observe(self.round)

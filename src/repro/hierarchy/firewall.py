@@ -150,12 +150,25 @@ class CompromisedSubnet:
         self._wallet = Wallet(self.nodes[0].keypair)
         self._window_bump = 0
 
-    def forge_extraction(self, attacker: Address, value: int, count: int = 1) -> CrossMsgMeta:
+    def forge_extraction(
+        self,
+        attacker: Address,
+        value: int,
+        count: int = 1,
+        break_prev: bool = False,
+        break_epoch: bool = False,
+    ) -> CrossMsgMeta:
         """Submit a forged checkpoint claiming *value* (split over *count*
         messages) for *attacker* on the parent chain.
 
         Returns the forged meta.  The parent's firewall decides how much of
-        it ever pays out.
+        it ever pays out.  ``break_prev`` points the forged prev-link at
+        garbage — the SCA's prev-chaining check rejects that outright, so
+        it probes the defense rather than bypassing it.  ``break_epoch``
+        keeps the prev-link genuine but claims epoch 0: the commit path
+        validates window monotonicity, prev and signatures but *not* epoch
+        monotonicity, so the forgery commits — exactly the gap the
+        checkpoint-chain auditor exists to catch.
         """
         per_message = value // count
         amounts = [per_message] * count
@@ -189,13 +202,18 @@ class CompromisedSubnet:
             count=count,
             value=value,
         )
+        prev = (
+            cid_of(("forged-prev", self.subnet.path, window))
+            if break_prev
+            else CID.from_hex(record.get("last_ckpt_cid", "00" * 32))
+        )
         checkpoint = Checkpoint(
             source=self.subnet,
             proof=cid_of(("forged-proof", window)),
-            prev=CID.from_hex(record.get("last_ckpt_cid", "00" * 32)),
+            prev=prev,
             cross_meta=(meta,),
             window=window,
-            epoch=(window + 1) * 10,
+            epoch=0 if break_epoch else (window + 1) * 10,
         )
         # Genuine quorum signatures — the adversary holds the keys.
         config = self.system.configs[self.subnet]

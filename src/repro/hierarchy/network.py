@@ -125,6 +125,7 @@ class HierarchicalSystem:
         self.invariant_monitor = None
         self.flight_recorder = None
         self.profiler = None
+        self.last_timeout: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -200,10 +201,27 @@ class HierarchicalSystem:
         return self
 
     def wait_for(
-        self, predicate: Callable[[], bool], timeout: float = 120.0, step: float = 0.25
+        self,
+        predicate: Callable[[], bool],
+        timeout: float = 120.0,
+        step: float = 0.25,
+        label: Optional[str] = None,
     ) -> bool:
-        """Advance simulated time until *predicate* holds; False on timeout."""
-        return self.stack.wait_for(predicate, timeout=timeout, step=step)
+        """Advance simulated time until *predicate* holds; False on timeout.
+
+        A timeout self-diagnoses: the predicate *label*, the sim time and a
+        per-subnet health snapshot land on :attr:`last_timeout`, and — when
+        monitors are enabled — the flight recorder dumps a postmortem
+        bundle tagged ``wait-timeout:<label>``, so a stalled campaign or
+        spawn leaves evidence instead of a bare ``False``.
+        """
+        ok = self.stack.wait_for(predicate, timeout=timeout, step=step)
+        if not ok:
+            self._note_wait_timeout(
+                label or getattr(predicate, "__name__", None) or "<predicate>",
+                timeout,
+            )
+        return ok
 
     def stop(self) -> None:
         for cluster in self.clusters.values():
@@ -331,6 +349,75 @@ class HierarchicalSystem:
                 )
         return hasher.hexdigest()
 
+    def health_snapshot(self) -> dict:
+        """Per-subnet vitals read directly off the nodes (no probe needed).
+
+        Same fields as :class:`~repro.telemetry.health.HealthProbe` plus
+        ``min_height`` across the subnet's validators — the spread exposes
+        a partitioned or crashed laggard at a glance.
+        """
+        snapshot: dict[str, dict] = {}
+        for subnet in self.subnets:
+            nodes = self.nodes_by_subnet[subnet]
+            node = nodes[0]
+            crosspool = getattr(node, "crosspool", None)
+            pending = 0
+            if crosspool is not None:
+                pending = crosspool.pending_topdown + crosspool.pending_bottomup
+            heights = [n.head().height for n in nodes]
+            snapshot[subnet.path] = {
+                "height": max(heights),
+                "min_height": min(heights),
+                "mempool": len(node.mempool),
+                "pending_crossmsgs": pending,
+                "checkpoint_lag": self._checkpoint_lag(node),
+            }
+        return snapshot
+
+    def _checkpoint_lag(self, node) -> Optional[int]:
+        """Windows sealed locally beyond what the parent's SA recorded."""
+        parent = getattr(node, "parent_node", None)
+        service = getattr(node, "checkpoints", None)
+        if parent is None or service is None:
+            return None  # the rootnet anchors to nothing
+        sealed = node.vm.state.get(f"actor/{SCA_ADDRESS.raw}/last_window_sealed", -1)
+        committed = parent.vm.state.get(
+            f"actor/{service.config.sa_addr}/last_ckpt_window", -1
+        )
+        return max(sealed - committed, 0)
+
+    def _note_wait_timeout(self, label: str, timeout: float) -> dict:
+        diagnosis = {
+            "label": label,
+            "timeout": timeout,
+            "time": self.sim.now,
+            "health": self.health_snapshot(),
+        }
+        self.last_timeout = diagnosis
+        if self.flight_recorder is not None:
+            self.flight_recorder.dump(reason=f"wait-timeout:{label}")
+        return diagnosis
+
+    def timeout_detail(self) -> str:
+        """Render :attr:`last_timeout` for exception messages and logs."""
+        diagnosis = self.last_timeout
+        if diagnosis is None:
+            return ""
+        lines = [
+            f" (predicate {diagnosis['label']!r} still false after "
+            f"{diagnosis['timeout']:g}s at t={diagnosis['time']:.2f})"
+        ]
+        for path in sorted(diagnosis["health"]):
+            health = diagnosis["health"][path]
+            lines.append(
+                f"  {path}: height={health['height']}"
+                f" min_height={health['min_height']}"
+                f" mempool={health['mempool']}"
+                f" pending_crossmsgs={health['pending_crossmsgs']}"
+                f" checkpoint_lag={health['checkpoint_lag']}"
+            )
+        return "\n".join(lines)
+
     def sca_state(self, subnet, key: str, default=None):
         return self.node(subnet).vm.state.get(
             f"actor/{SCA_ADDRESS.raw}/{key}", default
@@ -357,7 +444,10 @@ class HierarchicalSystem:
         wallet = self._make_wallet(name)
         if fund:
             self.transfer(self.treasury, ROOTNET, wallet.address, fund)
-            self.wait_for(lambda: self.balance(ROOTNET, wallet.address) >= fund)
+            self.wait_for(
+                lambda: self.balance(ROOTNET, wallet.address) >= fund,
+                label=f"wallet-funded:{name}",
+            )
         return wallet
 
     def transfer(self, wallet: Wallet, subnet, to: Address, value: int):
@@ -466,8 +556,11 @@ class HierarchicalSystem:
         if not self.wait_for(
             lambda: self.node(parent).vm.actor_code(sa_addr) == "subnet-actor",
             timeout=timeout,
+            label=f"sa-deployed:{subnet.path}",
         ):
-            raise SpawnError(f"SA deployment for {subnet} timed out")
+            raise SpawnError(
+                f"SA deployment for {subnet} timed out{self.timeout_detail()}"
+            )
 
         # Validators stake; the SA registers with the SCA at activation.
         for wallet in validator_wallets:
@@ -478,8 +571,12 @@ class HierarchicalSystem:
         if not self.wait_for(
             lambda: (self.child_record(parent, subnet) or {}).get("status") == "active",
             timeout=timeout,
+            label=f"sa-active:{subnet.path}",
         ):
-            raise SpawnError(f"{subnet} never became active in the parent SCA")
+            raise SpawnError(
+                f"{subnet} never became active in the parent SCA"
+                f"{self.timeout_detail()}"
+            )
 
         self._instantiate_subnet(subnet, config, validator_wallets, sa_addr)
         return subnet
@@ -508,9 +605,21 @@ class HierarchicalSystem:
         ok = self.wait_for(
             lambda: all(self.balance(subnet, addr) >= amount for addr, amount in needed),
             timeout=timeout,
+            label=f"validators-funded:{subnet.path}",
         )
         if not ok:
-            raise SpawnError(f"funding validators on {subnet} timed out")
+            raise SpawnError(
+                f"funding validators on {subnet} timed out{self.timeout_detail()}"
+            )
+
+    def ensure_funds(self, subnet, grants, timeout: float = 240.0) -> None:
+        """Ensure each ``(address, amount)`` balance holds on *subnet*.
+
+        Public wrapper over the spawn-path funding helper — workload and
+        scenario drivers stage their senders through it instead of poking
+        node VMs (funds always flow in-protocol).
+        """
+        self._fund_on_subnet(SubnetID(subnet), list(grants), timeout)
 
     def provision_treasury(self, subnet, amount: int, timeout: float = 240.0) -> None:
         """Public helper: ensure the treasury can spend *amount* on *subnet*.
@@ -533,9 +642,12 @@ class HierarchicalSystem:
         ok = self.wait_for(
             lambda: self.balance(subnet, self.treasury.address) >= amount,
             timeout=timeout,
+            label=f"treasury-funded:{subnet.path}",
         )
         if not ok:
-            raise SpawnError(f"provisioning treasury on {subnet} timed out")
+            raise SpawnError(
+                f"provisioning treasury on {subnet} timed out{self.timeout_detail()}"
+            )
 
     def _instantiate_subnet(
         self, subnet: SubnetID, config: SubnetConfig, validator_wallets, sa_addr

@@ -40,6 +40,8 @@ LAYERS: dict[str, int] = {
     "baselines": 7,
     # observability over everything (digest-neutral by contract)
     "telemetry": 8,
+    # adversarial campaigns drive full instrumented systems
+    "scenario": 9,
 }
 
 

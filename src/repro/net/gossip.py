@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.sim.scheduler import Simulator
+from repro.net.rpc import RpcChannel
 from repro.net.transport import NetMessage, Transport
 
 
@@ -84,9 +85,22 @@ class GossipNetwork:
         self._delivered = sim.metrics.counter("gossip.delivered")
         self._latency = sim.metrics.histogram("gossip.latency")
         self._heartbeat_no = 0
+        self._rpc: Optional[RpcChannel] = None
         self._stop_heartbeat = sim.every(
             self.params.heartbeat_interval, self._heartbeat, label="gossip:heartbeat"
         )
+
+    @property
+    def rpc(self) -> RpcChannel:
+        """Shared request/response channel over the same transport.
+
+        Lazy so pure-pubsub fabrics pay nothing; peers use it for direct
+        exchanges (e.g. block-range sync) that gossip's bounded IHAVE
+        history cannot serve.
+        """
+        if self._rpc is None:
+            self._rpc = RpcChannel(self.sim, self.transport)
+        return self._rpc
 
     # ------------------------------------------------------------------
     # Membership
@@ -125,6 +139,12 @@ class GossipNetwork:
         self._leave_topic(peer_id, topic)
 
     def _leave_topic(self, peer_id: str, topic: str) -> None:
+        state = self._peers.get(peer_id)
+        if state is not None:
+            # _rebuild_mesh only resets mesh entries for remaining members;
+            # clear the departing peer's own view so it stops relaying.
+            state.mesh.pop(topic, None)
+            state.mesh_sorted.pop(topic, None)
         members = self._topic_members.get(topic)
         if members:
             members.discard(peer_id)
@@ -194,6 +214,13 @@ class GossipNetwork:
         """Record a message at a peer and forward it over its mesh."""
         state = self._peers[peer_id]
         if envelope.msg_id in state.seen:
+            return
+        if envelope.topic not in state.topics:
+            # Not subscribed — a departed peer catching an in-flight
+            # delivery, or a bare publisher (whose flood publish() seeds
+            # explicitly).  Recording the message as seen here would make
+            # IHAVE repair skip it forever once the peer (re)subscribes,
+            # so drop it unrecorded.
             return
         state.seen[envelope.msg_id] = envelope
         state.seen_order.append((self._heartbeat_no, envelope.msg_id))

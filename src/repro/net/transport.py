@@ -68,13 +68,18 @@ class Transport:
         """
         if dst not in self._handlers:
             return False
-        if not self.topology.can_communicate(src, dst):
+        # Endpoint namespaces (rpc:<peer>) share the peer's physical link:
+        # partitions, loss and latency overrides keyed by the bare peer id
+        # must apply to its RPC traffic too.
+        link_src = src[4:] if src.startswith("rpc:") else src
+        link_dst = dst[4:] if dst.startswith("rpc:") else dst
+        if not self.topology.can_communicate(link_src, link_dst):
             self.sim.metrics.counter("net.partitioned_drops").inc()
             return False
-        if self.topology.is_lost(self._rng):
+        if self.topology.is_lost(link_src, link_dst, self._rng):
             self.sim.metrics.counter("net.lost").inc()
             return False
-        latency = self.topology.sample_latency(src, dst, self._rng)
+        latency = self.topology.sample_latency(link_src, link_dst, self._rng)
         message = NetMessage(
             src=src,
             dst=dst,
@@ -98,3 +103,57 @@ class Transport:
         self._delivered.inc()
         self._latency.observe(self.sim.now - message.sent_at)
         handler(message)
+
+    # ------------------------------------------------------------------
+    # Fault-injection conveniences (deterministic ordering throughout)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _peer_group(spec) -> frozenset:
+        if isinstance(spec, str):
+            return frozenset((spec,))
+        return frozenset(spec)
+
+    def partition(self, *groups) -> int:
+        """Split the network into *groups* of peer ids; returns a handle.
+
+        Each group is a peer id or an iterable of peer ids.  A single
+        group isolates it from everyone else; multiple groups may only
+        talk within their own group (unlisted peers form one implicit
+        remainder group).  Groups are normalized and sorted before
+        installation, so call-site ordering never affects the schedule.
+        """
+        if not groups:
+            raise ValueError("partition needs at least one group")
+        return self.topology.partition_groups(
+            tuple(self._peer_group(group) for group in groups)
+        )
+
+    def heal(self, handle: Optional[int] = None) -> None:
+        """Heal one partition (*handle*) — or, with no argument, restore a
+        pristine network: every partition healed, every link override
+        cleared."""
+        if handle is not None:
+            self.topology.heal(handle)
+            return
+        self.topology.heal_all()
+        self.topology.clear_links()
+
+    def set_link(
+        self,
+        a,
+        b,
+        loss: Optional[float] = None,
+        extra_latency: Optional[float] = None,
+    ) -> None:
+        """Degrade every link between peer groups *a* and *b* (symmetric).
+
+        *a*/*b* are peer ids or iterables of peer ids; all cross pairs are
+        updated in sorted order.  ``loss`` stacks independently with the
+        topology-wide loss rate; ``extra_latency`` (seconds) adds onto the
+        latency model.  Zeroing both removes the override.
+        """
+        for src in sorted(self._peer_group(a)):
+            for dst in sorted(self._peer_group(b)):
+                if src == dst:
+                    continue
+                self.topology.set_link(src, dst, loss=loss, extra_latency=extra_latency)

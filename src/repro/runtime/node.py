@@ -72,6 +72,7 @@ class NodeRuntime:
         # header after assembly simply miss and re-execute).
         self._assembled: dict[CID, tuple[VM, tuple]] = {}
         self._commit_listeners: list[Callable[[FullBlock], None]] = []
+        self._restart_epoch = 0  # invalidates pending restart resumes
         self._notified: set[CID] = {genesis_block.cid}  # blocks already announced
         # Protocol events (receipt events) per executed-but-not-yet-committed
         # block, kept only while a commit-time observer (span tracer or
@@ -87,6 +88,10 @@ class NodeRuntime:
 
         self.topic = subnet_topic(subnet_id)
         gossip.subscribe(node_id, self.topic, self._on_pubsub)
+        # Direct block-range sync for peers that fall further behind than
+        # gossip's IHAVE history window covers (e.g. a long outage).
+        self._sync_inflight = False
+        gossip.rpc.expose(node_id, "chain:blocks", self._serve_block_range)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -96,7 +101,63 @@ class NodeRuntime:
 
     def stop(self) -> None:
         self.engine.stop()
+        self._restart_epoch += 1  # cancel any pending sync-grace resume
         self.gossip.unsubscribe(self.node_id, self.topic)
+
+    def restart(
+        self, sync_grace: float = 1.0, max_sync_wait: float = 15.0
+    ) -> None:
+        """Rejoin the subnet after a :meth:`stop` (crash/restart faults).
+
+        Re-subscribes the chain topic immediately — gossip (eager mesh
+        push plus lazy IHAVE/IWANT repair) starts filling the blocks the
+        node missed while down — but keeps the engine paused until the
+        local head looks *caught up* (its timestamp within two block
+        times of now).  A validator proposing off a stale head the moment
+        it comes back self-commits a conflicting block on lag-0 engines,
+        so it listens passively first, polling every *sync_grace*
+        simulated seconds.  After *max_sync_wait* it starts regardless —
+        if the whole subnet is stalled no head ever looks fresh, and a
+        proposer is exactly what the subnet is missing.  ``sync_grace=0``
+        restores the immediate restart.  Idempotent; a :meth:`stop`
+        during the wait cancels the pending resume.
+        """
+        self.gossip.subscribe(self.node_id, self.topic, self._on_pubsub)
+        self._restart_epoch += 1
+        token = self._restart_epoch
+        if sync_grace <= 0:
+            if not self.engine.running:
+                self.engine.start()
+            return
+        deadline = self.sim.now + max_sync_wait
+        freshness = 2.0 * self.engine.params.block_time
+
+        def _resume() -> None:
+            if token != self._restart_epoch or self.engine.running:
+                return
+            caught_up = self.sim.now - self.head().header.timestamp <= freshness
+            if caught_up or self.sim.now >= deadline:
+                self.engine.start()
+            else:
+                self.sim.schedule(sync_grace, _resume, label="node:restart")
+
+        self.sim.schedule(sync_grace, _resume, label="node:restart")
+
+    def swap_engine(self, engine_factory) -> Any:
+        """Replace the consensus engine in place; returns the old engine.
+
+        *engine_factory* is called as ``factory(sim, node, validators,
+        params)`` — the same plug point as
+        :func:`repro.consensus.base.make_engine`.  The old engine is
+        stopped first and handed back so a fault can restore it on heal.
+        """
+        old = self.engine
+        was_running = old.running
+        old.stop()
+        self.engine = engine_factory(self.sim, self, self.validators, old.params)
+        if was_running:
+            self.engine.start()
+        return old
 
     def is_byzantine(self, behaviour: str) -> bool:
         return behaviour in self.byzantine
@@ -129,6 +190,59 @@ class NodeRuntime:
 
     def head(self) -> FullBlock:
         return self.store.head
+
+    # ------------------------------------------------------------------
+    # Direct block sync (RPC; for gaps beyond gossip's IHAVE history)
+    # ------------------------------------------------------------------
+    _SYNC_BATCH_LIMIT = 256
+
+    def _serve_block_range(self, caller: str, params) -> list:
+        """RPC ``chain:blocks``: canonical-chain blocks in [start, end]."""
+        if not self.engine.running:
+            raise RuntimeError("node not serving")  # down/syncing nodes abstain
+        start, end = params
+        head = self.store.head
+        end = min(end, head.height)
+        start = max(start, 0, end - self._SYNC_BATCH_LIMIT + 1)
+        blocks: list[FullBlock] = []
+        cursor: Optional[FullBlock] = head
+        while cursor is not None and cursor.height >= start:
+            if cursor.height <= end:
+                blocks.append(cursor)
+            cursor = self.store.get_optional(cursor.header.parent)
+        blocks.reverse()
+        return blocks
+
+    def request_block_range(self, peer: str, start: int, end: int) -> bool:
+        """Fetch blocks [start, end] from *peer* and apply them as final.
+
+        Used when a commit certificate proves a future block but the
+        ancestors are no longer advertisable over gossip.  One request in
+        flight at a time; the parked orphan cascade applies the rest.
+        """
+        if self._sync_inflight or end < start or peer == self.node_id:
+            return False
+        self._sync_inflight = True
+
+        def _on_blocks(result, error) -> None:
+            self._sync_inflight = False
+            if error is not None or not result:
+                self.sim.metrics.counter(f"chain.{self.subnet_id}.sync_failed").inc()
+                return
+            self.sim.metrics.counter(f"chain.{self.subnet_id}.sync_blocks").inc(
+                len(result)
+            )
+            # Synced blocks adopt the engine's own finality semantics —
+            # instant-finality engines only serve decided blocks, while
+            # fork-capable ones (PoW) keep depth-based finality intact.
+            final = self.engine.INSTANT_FINALITY
+            for block in result:
+                self.receive_block(block, final=final)
+
+        self.gossip.rpc.call(
+            self.node_id, peer, "chain:blocks", (start, end), _on_blocks
+        )
+        return True
 
     # ------------------------------------------------------------------
     # Block assembly (called by the consensus engine when we lead)

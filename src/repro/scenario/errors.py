@@ -1,0 +1,7 @@
+"""Scenario-engine exceptions."""
+
+from __future__ import annotations
+
+
+class ScenarioError(ValueError):
+    """A malformed scenario/fault spec or an unusable selector."""

@@ -1,8 +1,6 @@
 """Failure injection: partitions, message loss, and byzantine checkpointing
 behaviours, asserting the system degrades and recovers as designed."""
 
-import pytest
-
 from repro.hierarchy import ROOTNET, HierarchicalSystem, SubnetConfig, audit_system
 
 
@@ -15,14 +13,14 @@ def test_subnet_recovers_from_internal_partition():
         SubnetConfig(name="part", validators=3, block_time=0.25, checkpoint_period=5)
     )
     system.run_for(2.0)
-    topology = system.gossip.transport.topology
+    transport = system.stack.transport
     isolated = system.nodes(sub)[2]
-    handle = topology.partition({isolated.node_id})
+    handle = transport.partition(isolated.node_id)
     system.run_for(5.0)
     majority_height = system.node(sub).head().height
     lagging_height = isolated.head().height
     assert majority_height > lagging_height  # majority kept going
-    topology.heal(handle)
+    transport.heal(handle)
     system.run_for(10.0)
     # Lazy gossip (IHAVE/IWANT) heals the gap; the node catches up.
     assert isolated.head().height >= system.node(sub).head().height - 2
@@ -62,11 +60,11 @@ def test_checkpointing_survives_parent_partition():
     window_before = system.node(ROOTNET).vm.state.get(
         f"actor/{system.sa_address(sub).raw}/last_ckpt_window", -1
     )
-    topology = system.gossip.transport.topology
+    transport = system.stack.transport
     subnet_ids = {n.node_id for n in system.nodes(sub)}
-    handle = topology.partition(subnet_ids)
+    handle = transport.partition(subnet_ids)
     system.run_for(10.0)
-    topology.heal(handle)
+    transport.heal(handle)
     system.run_for(30.0)
     window_after = system.node(ROOTNET).vm.state.get(
         f"actor/{system.sa_address(sub).raw}/last_ckpt_window", -1
@@ -116,12 +114,12 @@ def test_partition_with_monitors_keeps_supply_invariants():
         SubnetConfig(name="part", validators=3, block_time=0.25, checkpoint_period=5)
     )
     system.run_for(2.0)
-    topology = system.gossip.transport.topology
+    transport = system.stack.transport
     isolated = system.nodes(sub)[2]
-    handle = topology.partition({isolated.node_id})
+    handle = transport.partition(isolated.node_id)
     system.run_for(5.0)
     assert audit_system(system).ok  # books stay sound while split
-    topology.heal(handle)
+    transport.heal(handle)
     system.run_for(10.0)
     monitor = system.invariant_monitor
     # Partitions may legitimately trip liveness-adjacent auditors (e.g. a
@@ -144,11 +142,11 @@ def test_audit_holds_mid_reorg_on_pow_subnet():
                      checkpoint_period=5)
     )
     system.run_for(4.0)
-    topology = system.gossip.transport.topology
+    transport = system.stack.transport
     isolated = system.nodes(sub)[2]
-    handle = topology.partition({isolated.node_id})
+    handle = transport.partition(isolated.node_id)
     system.run_for(4.0)
-    topology.heal(handle)
+    transport.heal(handle)
     # Audit repeatedly through the healing window — mid-reorg state included.
     for _ in range(8):
         system.run_for(0.5)

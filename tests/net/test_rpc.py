@@ -96,3 +96,19 @@ def test_concurrent_calls_are_matched():
         )
     sim.run_until(2.0)
     assert results == {i: i * 2 for i in range(5)}
+
+
+def test_rpc_respects_partitions():
+    """RPC endpoints share their peer's physical link: a partition keyed on
+    the bare peer id must block ``rpc:``-namespaced traffic too."""
+    sim, transport, rpc = make_rpc()
+    rpc.expose("server", "echo", lambda caller, params: params)
+    handle = transport.topology.partition_groups((frozenset(("server",)),))
+    results = []
+    rpc.call("client", "server", "echo", "x", lambda r, e: results.append((r, e)))
+    sim.run_until(1.0)
+    assert results == [(None, "unreachable: server")]
+    transport.topology.heal(handle)
+    rpc.call("client", "server", "echo", "y", lambda r, e: results.append((r, e)))
+    sim.run_until(2.0)
+    assert results[1] == ("y", None)

@@ -146,6 +146,90 @@ def test_metrics_are_recorded():
     assert sim.metrics.histogram("net.latency").count == 1
 
 
+def test_transport_partition_and_heal_helpers():
+    sim, transport = make_transport()
+    received = []
+    for peer in ("a", "b", "c"):
+        transport.register(peer, lambda m: received.append(m))
+    handle = transport.partition({"a", "b"})
+    assert transport.send("a", "b", "t", "x")  # intra-group ok
+    assert not transport.send("a", "c", "t", "x")  # cross-group cut
+    transport.heal(handle)
+    assert transport.send("a", "c", "t", "x")
+    sim.run()
+    assert len(received) == 2
+
+
+def test_transport_partition_accepts_bare_peer_id():
+    _, transport = make_transport()
+    transport.register("a", lambda m: None)
+    transport.register("b", lambda m: None)
+    transport.partition("a")  # string, not iterable-of-ids
+    assert not transport.send("a", "b", "t", "x")
+
+
+def test_transport_partition_multiple_groups():
+    _, transport = make_transport()
+    for peer in ("a", "b", "c", "d"):
+        transport.register(peer, lambda m: None)
+    transport.partition({"a", "b"}, {"c"})
+    assert transport.send("a", "b", "t", "x")
+    assert not transport.send("b", "c", "t", "x")
+    # Unlisted peers form the implicit remainder group.
+    assert not transport.send("d", "a", "t", "x")
+
+
+def test_transport_partition_needs_a_group():
+    _, transport = make_transport()
+    with pytest.raises(ValueError):
+        transport.partition()
+
+
+def test_transport_heal_without_handle_restores_pristine_network():
+    _, transport = make_transport()
+    for peer in ("a", "b", "c"):
+        transport.register(peer, lambda m: None)
+    transport.partition("a")
+    transport.partition("b")
+    transport.set_link("a", "b", loss=0.5)
+    transport.heal()
+    assert transport.topology.link_profile("a", "b") is None
+    assert transport.send("a", "b", "t", "x")  # partitions gone, loss cleared
+    assert transport.send("b", "c", "t", "x")
+
+
+def test_transport_set_link_loss_and_latency():
+    sim, transport = make_transport()
+    arrivals = []
+    transport.register("a", lambda m: None)
+    transport.register("b", lambda m: arrivals.append(sim.now))
+    transport.set_link("a", "b", loss=0.9)
+    sent = sum(1 for _ in range(100) if transport.send("a", "b", "t", "x"))
+    assert sent < 50  # heavy per-link loss drops most sends
+
+    transport.set_link("a", "b", loss=0.0, extra_latency=1.0)
+    sim.run()
+    start = sim.now
+    assert transport.send("a", "b", "t", "x")
+    sim.run()
+    assert arrivals[-1] - start >= 1.0  # override adds onto the model
+
+    transport.set_link("a", "b", loss=0.0, extra_latency=0.0)
+    assert transport.topology.link_profile("a", "b") is None  # all-zero removed
+
+
+def test_transport_set_link_is_symmetric_and_groupwise():
+    _, transport = make_transport()
+    for peer in ("a", "b", "c"):
+        transport.register(peer, lambda m: None)
+    transport.set_link({"a"}, {"b", "c"}, loss=0.25)
+    topology = transport.topology
+    assert topology.link_profile("a", "b").loss == 0.25
+    assert topology.link_profile("b", "a").loss == 0.25  # symmetric key
+    assert topology.link_profile("a", "c").loss == 0.25
+    assert topology.link_profile("b", "c") is None  # untouched pair
+
+
 def test_deterministic_delivery_times():
     def run():
         sim, transport = make_transport(seed=42)
