@@ -136,9 +136,34 @@ class ConsensusEngine:
     def handle(self, kind: str, payload: Any, sender: str) -> None:
         """Process a consensus message published by *sender*."""
 
+    # -- introspection --------------------------------------------------
+    def debug_state(self) -> dict:
+        """Live engine state for stall diagnosis (JSON-safe plain data).
+
+        Engines override to expose their round/slot machinery — current
+        height/round/step, locked values, vote books, expected leader —
+        so a :class:`~repro.telemetry.rounds.StallDiagnoser` can name the
+        missing quorum without reaching into private attributes.
+        """
+        return {"engine": self.NAME, "running": self.running}
+
     # -- helpers --------------------------------------------------------
     def _metric(self, name: str):
         return self.sim.metrics.counter(f"consensus.{self.node.subnet_id}.{name}")
+
+    def _trace_round(self, kind: str, **fields) -> None:
+        """Feed one round/view transition to the installed RoundTracer.
+
+        Duck-typed against ``sim.round_tracer`` (None = tracing off) so
+        the consensus layer never imports telemetry; a single attribute
+        read on the disabled path keeps engines digest-neutral and cheap.
+        """
+        tracer = self.sim.round_tracer
+        if tracer is not None:
+            tracer.on_round_event(
+                self.node.subnet_id, self.node.node_id, kind,
+                self.sim.now, fields,
+            )
 
     def _observe_block_interval(self, block: FullBlock) -> None:
         hist = self.sim.metrics.histogram(f"consensus.{self.node.subnet_id}.block_interval")

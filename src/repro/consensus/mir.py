@@ -111,8 +111,13 @@ class MirEngine(ConsensusEngine):
             message_filter=in_my_bucket,
         )
         self._metric("proposed").inc()
+        self._trace_round(
+            "propose", height=block.height, slot=sub_slot,
+            proposer=self.node.node_id, cid=block.cid.hex()[:16],
+        )
         self._observe_block_interval(block)
         self.node.receive_block(block, final=True)
+        self._trace_round("commit", height=block.height, slot=sub_slot)
         self.node.broadcast("block", block)
 
     def handle(self, kind: str, payload: Any, sender: str) -> None:
@@ -132,7 +137,25 @@ class MirEngine(ConsensusEngine):
             return
         if self.node.receive_block(block, final=True):
             self._metric("accepted").inc()
+            self._trace_round(
+                "commit", height=block.height, slot=sub_slot,
+                proposer=expected.node_id,
+            )
         elif block.height > self.node.head().height + 1:
             self.node.request_block_range(
                 sender, self.node.head().height + 1, block.height - 1
             )
+
+    def debug_state(self) -> dict:
+        """Sub-slot rotation state: leader, epoch and bucket right now."""
+        sub_slot = self._current_sub_slot()
+        head = self.node.head()
+        state = super().debug_state()
+        state.update({
+            "slot": sub_slot,
+            "leader": self.leader_for_sub_slot(sub_slot).node_id,
+            "epoch": self._epoch(sub_slot),
+            "bucket": sub_slot % self.leaders,
+            "head_height": head.height if head else None,
+        })
+        return state

@@ -76,8 +76,13 @@ class ProofOfStakeEngine(ConsensusEngine):
             consensus_data={"engine": self.NAME, "slot": slot},
         )
         self._metric("proposed").inc()
+        self._trace_round(
+            "propose", height=block.height, slot=slot,
+            proposer=self.node.node_id, cid=block.cid.hex()[:16],
+        )
         self._observe_block_interval(block)
         self.node.receive_block(block, final=True)
+        self._trace_round("commit", height=block.height, slot=slot)
         self.node.broadcast("block", block)
 
     def handle(self, kind: str, payload: Any, sender: str) -> None:
@@ -97,7 +102,23 @@ class ProofOfStakeEngine(ConsensusEngine):
             return
         if self.node.receive_block(block, final=True):
             self._metric("accepted").inc()
+            self._trace_round(
+                "commit", height=block.height, slot=slot,
+                proposer=expected.node_id,
+            )
         elif block.height > self.node.head().height + 1:
             self.node.request_block_range(
                 sender, self.node.head().height + 1, block.height - 1
             )
+
+    def debug_state(self) -> dict:
+        """Lottery state: the current slot and the leader it elects."""
+        slot = self._current_slot()
+        head = self.node.head()
+        state = super().debug_state()
+        state.update({
+            "slot": slot,
+            "leader": self.leader_for_slot(slot).node_id,
+            "head_height": head.height if head else None,
+        })
+        return state

@@ -97,8 +97,13 @@ class ProofOfWorkEngine(ConsensusEngine):
             },
         )
         self._metric("mined").inc()
+        self._trace_round(
+            "propose", height=block.height, proposer=self.node.node_id,
+            cid=block.cid.hex()[:16],
+        )
         self._observe_block_interval(block)
         self.node.receive_block(block, final=False)
+        self._trace_round("commit", height=block.height)
         self.node.broadcast("block", block)
         self._restart_mining()
 
@@ -125,9 +130,29 @@ class ProofOfWorkEngine(ConsensusEngine):
             return
         self._metric("accepted").inc()
         head_after = self.node.head()
+        if head_before is None or head_after.cid != head_before.cid:
+            self._trace_round("commit", height=head_after.height)
         if self.running and (head_before is None or head_after.cid != head_before.cid):
             # Our head moved (extension or reorg): abandon stale work.
             self._restart_mining()
+
+    # ------------------------------------------------------------------
+    # Introspection (stall diagnosis)
+    # ------------------------------------------------------------------
+    def debug_state(self) -> dict:
+        """Mining state: the head we race on, our power, final height."""
+        head = self.node.head()
+        state = super().debug_state()
+        state.update({
+            "mining_on": (
+                self._mining_on.hex()[:16]
+                if self._mining_on is not None else None
+            ),
+            "power": self._my_power(),
+            "head_height": head.height if head else None,
+            "final_height": self.final_height(),
+        })
+        return state
 
     # ------------------------------------------------------------------
     # Finality

@@ -59,6 +59,7 @@ class TendermintEngine(ConsensusEngine):
         self.locked_cid: Optional[CID] = None
         self.locked_round = -1
         self._proposals: dict[tuple, FullBlock] = {}  # (h, r) -> block
+        self._valid_rounds: dict[tuple, int] = {}  # (h, r) -> claimed vr
         self._blocks: dict[CID, FullBlock] = {}
         self._prevotes: dict[tuple, dict] = {}  # (h, r) -> voter -> cid/None
         self._precommits: dict[tuple, dict] = {}
@@ -83,7 +84,7 @@ class TendermintEngine(ConsensusEngine):
     def proposer_for(self, height: int, round_: int):
         return self.validators.round_robin(height + round_)
 
-    def _start_round(self, round_: int) -> None:
+    def _start_round(self, round_: int, skipped: bool = False) -> None:
         if not self.running:
             return
         self.round = round_
@@ -92,18 +93,51 @@ class TendermintEngine(ConsensusEngine):
         self.sim.metrics.counter(
             f"consensus.{self.node.subnet_id}.rounds"
         ).inc()
+        self._trace_round(
+            "round_skip" if skipped else "round_start",
+            height=self.height, round=round_, proposer=proposer.node_id,
+            quorum=self.validators.quorum_power,
+            total=self.validators.total_power,
+        )
+        height = self.height
         if proposer.node_id == self.node.node_id:
             self._propose()
+        if self.height != height:
+            return  # our own proposal completed the height synchronously
         # Whether or not we are the proposer, arm the propose timeout.
-        self._schedule_timeout(PROPOSE, self.height, round_)
+        self._schedule_timeout(PROPOSE, height, round_)
+        if self.step == PROPOSE and self.round == round_:
+            # A proposal for this round may already sit in the book (we
+            # arrived via round skip while peers were further along) —
+            # act on it now instead of waiting out the propose timeout.
+            stored = self._proposals.get((height, round_))
+            if stored is not None:
+                self._prevote_proposal(
+                    stored, self._valid_rounds.get((height, round_))
+                )
 
     def _propose(self) -> None:
         if self.node.is_byzantine("withhold_block"):
             self._metric("withheld").inc()
             return
         head = self.node.head()
+        valid_round = None
         if self.locked_cid is not None and self.locked_cid in self._blocks:
+            # Repropose the locked block.  It carries its ORIGINAL
+            # proposer's miner address, so the payload must also carry the
+            # round it was first proposed in (the algorithm's validRound):
+            # peers verify eligibility against that round's proposer.
+            # Without this, a locked validator's reproposal is rejected by
+            # everyone — including itself — and a round-0 lock split
+            # (two lock, two precommit nil after a lossy polka) livelocks
+            # the height forever: fresh proposals never gather the locked
+            # validators' prevotes, and the locked block can never return.
             block = self._blocks[self.locked_cid]
+            valid_round = min(
+                (r for (h, r) in self._proposals
+                 if h == self.height and self._proposals[(h, r)].cid == block.cid),
+                default=self.locked_round,
+            )
         else:
             block = self.node.assemble_block(
                 height=self.height,
@@ -111,7 +145,13 @@ class TendermintEngine(ConsensusEngine):
                 consensus_data={"engine": self.NAME, "round": self.round},
             )
         self._metric("proposed").inc()
+        self._trace_round(
+            "propose", height=self.height, round=self.round,
+            cid=block.cid.hex()[:16],
+        )
         payload = {"height": self.height, "round": self.round, "block": block}
+        if valid_round is not None:
+            payload["valid_round"] = valid_round
         self._on_proposal(payload, self.node.node_id)
         self.node.broadcast("tm:proposal", payload)
 
@@ -130,16 +170,23 @@ class TendermintEngine(ConsensusEngine):
     def _on_timeout(self, step: str, height: int, round_: int) -> None:
         if not self.running or height != self.height or round_ != self.round:
             return  # stale timeout from an older height/round
+        # Step transitions happen BEFORE the vote is cast: _cast_vote
+        # self-delivers synchronously and may advance the round or commit
+        # the height — assigning self.step afterwards would clobber that
+        # fresh state with a stale one (see _check_polka).
         if step == PROPOSE and self.step == PROPOSE:
             # No acceptable proposal: prevote nil.
-            self._cast_vote(PREVOTE, None)
+            self._trace_round("timeout", height=height, round=round_, step=step)
             self.step = PREVOTE
             self._schedule_timeout(PREVOTE, height, round_)
+            self._cast_vote(PREVOTE, None)
         elif step == PREVOTE and self.step == PREVOTE:
-            self._cast_vote(PRECOMMIT, None)
+            self._trace_round("timeout", height=height, round=round_, step=step)
             self.step = PRECOMMIT
             self._schedule_timeout(PRECOMMIT, height, round_)
+            self._cast_vote(PRECOMMIT, None)
         elif step == PRECOMMIT and self.step == PRECOMMIT:
+            self._trace_round("timeout", height=height, round=round_, step=step)
             self._start_round(round_ + 1)
 
     # ------------------------------------------------------------------
@@ -216,32 +263,116 @@ class TendermintEngine(ConsensusEngine):
         height, round_, block = payload["height"], payload["round"], payload["block"]
         if height != self.height:
             return
-        proposer = self.proposer_for(height, round_)
-        if block.header.miner != proposer.address:
+        valid_round = payload.get("valid_round")
+        if valid_round is not None and 0 <= valid_round < round_:
+            # Reproposal: the block header binds its ORIGINAL proposer, so
+            # eligibility is checked against the round it was first
+            # proposed in.  No weaker than the base rule — the claimed
+            # (height, valid_round) pins exactly one expected miner.
+            expected = self.proposer_for(height, valid_round)
+        else:
+            valid_round = None
+            expected = self.proposer_for(height, round_)
+        if block.header.miner != expected.address:
             self._metric("rejected").inc()
             return
         self._proposals[(height, round_)] = block
         self._blocks[block.cid] = block
+        if valid_round is not None:
+            self._valid_rounds[(height, round_)] = valid_round
+        self._trace_round(
+            "proposal", height=height, round=round_,
+            proposer=self.proposer_for(height, round_).node_id,
+            cid=block.cid.hex()[:16],
+        )
         if round_ != self.round or self.step != PROPOSE:
             return
-        # Prevote logic with locking: if locked, only prevote the locked
-        # block; otherwise prevote the proposal.
-        if self.locked_cid is not None and block.cid != self.locked_cid:
-            self._cast_vote(PREVOTE, self.locked_cid)
-        else:
-            self._cast_vote(PREVOTE, block.cid)
+        self._prevote_proposal(block, valid_round)
+
+    def _has_polka(self, cid: CID, round_: int) -> bool:
+        """Did >2/3 prevote power endorse *cid* at (height, round_)?"""
+        tally = self._tally(PREVOTE, self.height, round_)
+        return tally.get(cid, 0) >= self.validators.quorum_power
+
+    def _prevote_proposal(self, block: FullBlock, valid_round=None) -> None:
+        """Prevote an acceptable proposal for the current (height, round).
+
+        Locking rule: if locked, only prevote the locked block — unless the
+        proposal is a reproposal carrying ``valid_round >= locked_round``
+        whose polka we can verify in our own prevote book (arXiv:1807.04938
+        line 28-30): a later polka supersedes an earlier lock.  The step
+        advances and the prevote timeout arms *before* the vote is cast —
+        our own vote is processed synchronously and may complete a polka
+        (or even the commit) on the spot; mutating state afterwards would
+        clobber it.
+        """
+        height, round_ = self.height, self.round
         self.step = PREVOTE
         self._schedule_timeout(PREVOTE, height, round_)
+        if self.locked_cid is not None and block.cid != self.locked_cid:
+            if (
+                valid_round is not None
+                and valid_round >= self.locked_round
+                and self._has_polka(block.cid, valid_round)
+            ):
+                self._cast_vote(PREVOTE, block.cid)
+            else:
+                self._cast_vote(PREVOTE, self.locked_cid)
+        else:
+            self._cast_vote(PREVOTE, block.cid)
 
     def _on_vote(self, vote: Vote) -> None:
         if vote.height != self.height:
             return
         if not self._record_vote(vote):
             return
+        voter = self.validators.by_node(vote.voter)
+        self._trace_round(
+            "vote", height=vote.height, round=vote.round,
+            vote_type=vote.vote_type, voter=vote.voter,
+            power=voter.power if voter else 1,
+            cid=vote.block_cid.hex()[:16] if vote.block_cid else None,
+        )
+        if vote.round > self.round and self._maybe_skip_round(vote.round):
+            return  # _start_round already re-evaluated the books
         if vote.vote_type == PREVOTE:
             self._check_polka(vote.round)
         else:
             self._check_commit(vote.round)
+
+    def _maybe_skip_round(self, round_: int) -> bool:
+        """The Tendermint round catch-up rule (arXiv:1807.04938, line 55).
+
+        On f+1 voting power messaging at a round ahead of ours, honest
+        validators are there and ours is stale — StartRound(round).
+        Without this a loss window can phase-shift validators' locally
+        clocked timeouts so no round ever gathers a quorum: each stays in
+        its own cadence forever, even after the links heal (the
+        lossy-links liveness stall).  Commit-certificate catch-up cannot
+        repair this — it only helps once *someone* commits.
+        """
+        if self.step == "commit-wait" or round_ <= self.round:
+            return False
+        voters = set(self._prevotes.get((self.height, round_), ()))
+        voters.update(self._precommits.get((self.height, round_), ()))
+        if (self.height, round_) in self._proposals:
+            voters.add(self.proposer_for(self.height, round_).node_id)
+        if self.validators.power_of(voters) < (
+            self.validators.total_power // 3 + 1
+        ):
+            return False
+        self._metric("round_skips").inc()
+        height = self.height
+        self._start_round(round_, skipped=True)
+        if self.height != height:
+            return True  # the stored proposal carried us through a commit
+        # Re-run quorum checks against the already-recorded books: the
+        # polka (or commit) we were missing may be sitting there complete.
+        if self.step == PREVOTE:
+            self._check_polka(round_)
+        if self.height == height and self.step == PRECOMMIT:
+            self._check_commit(round_)
+        return True
 
     def _check_polka(self, round_: int) -> None:
         """On >2/3 prevotes for one block at the current round: lock+precommit."""
@@ -251,14 +382,25 @@ class TendermintEngine(ConsensusEngine):
         quorum = self.validators.quorum_power
         for cid, power in tally.items():
             if power >= quorum:
+                # Advance the step and arm the timeout BEFORE casting: our
+                # own precommit is delivered synchronously and can complete
+                # the commit quorum, whose _commit resets round/step for
+                # the next height — assignments placed after _cast_vote
+                # would overwrite that reset with a stale step, leaving the
+                # engine wedged at round -1 (the commit-wait pace guard
+                # never matches again).
+                self.step = PRECOMMIT
+                self._schedule_timeout(PRECOMMIT, self.height, round_)
                 if cid is None:
                     self._cast_vote(PRECOMMIT, None)
                 else:
                     self.locked_cid = cid
                     self.locked_round = round_
+                    self._trace_round(
+                        "lock", height=self.height, round=round_,
+                        cid=cid.hex()[:16],
+                    )
                     self._cast_vote(PRECOMMIT, cid)
-                self.step = PRECOMMIT
-                self._schedule_timeout(PRECOMMIT, self.height, round_)
                 return
 
     def _check_commit(self, round_: int) -> None:
@@ -375,6 +517,10 @@ class TendermintEngine(ConsensusEngine):
         self.sim.metrics.histogram(
             f"consensus.{self.node.subnet_id}.commit_round"
         ).observe(self.round)
+        self._trace_round(
+            "commit", height=block.height, round=max(self.round, 0),
+            cid=block.cid.hex()[:16],
+        )
         # Clean up and move to the next height, pacing to the target block
         # interval (Tendermint's timeout_commit): consensus itself finishes
         # in a few gossip round trips, so without pacing block rate would be
@@ -413,11 +559,47 @@ class TendermintEngine(ConsensusEngine):
         for key in [k for k in self._proposals if k[0] <= height]:
             block = self._proposals.pop(key)
             self._blocks.pop(block.cid, None)
+            self._valid_rounds.pop(key, None)
 
     @property
     def equivocation_evidence(self) -> list:
         """Observed double-votes: (voter, first_cid, second_cid) tuples."""
         return list(self._equivocations)
+
+    # ------------------------------------------------------------------
+    # Introspection (stall diagnosis)
+    # ------------------------------------------------------------------
+    def debug_state(self) -> dict:
+        """Round machinery + vote books at the working height (JSON-safe)."""
+
+        def books(source: dict) -> dict:
+            return {
+                str(round_): {
+                    voter: cid.hex()[:16] if cid is not None else None
+                    for voter, cid in sorted(book.items())
+                }
+                for (height, round_), book in sorted(source.items())
+                if height == self.height
+            }
+
+        state = super().debug_state()
+        state.update({
+            "height": self.height,
+            "round": self.round,
+            "step": self.step,
+            "locked": (
+                self.locked_cid.hex()[:16]
+                if self.locked_cid is not None else None
+            ),
+            "locked_round": self.locked_round,
+            "prevotes": books(self._prevotes),
+            "precommits": books(self._precommits),
+            "proposals": sorted(
+                r for (h, r) in self._proposals if h == self.height
+            ),
+            "future_heights": sorted(self._future),
+        })
+        return state
 
 
 _ABSENT = object()

@@ -125,6 +125,8 @@ class HierarchicalSystem:
         self.invariant_monitor = None
         self.flight_recorder = None
         self.profiler = None
+        self.round_tracer = None
+        self.stall_diagnoser = None
         self.last_timeout: Optional[dict] = None
 
     # ------------------------------------------------------------------
@@ -265,6 +267,11 @@ class HierarchicalSystem:
             from repro.telemetry import SpanTracer
 
             self.span_tracer = SpanTracer(self.sim).install()
+        if self.round_tracer is None:
+            from repro.telemetry import RoundTracer, StallDiagnoser
+
+            self.round_tracer = RoundTracer(self.sim).install()
+            self.stall_diagnoser = StallDiagnoser(self)
         if health_interval is not None and self.health_probe is None:
             from repro.telemetry import HealthProbe
 
@@ -393,9 +400,21 @@ class HierarchicalSystem:
             "time": self.sim.now,
             "health": self.health_snapshot(),
         }
+        if self.stall_diagnoser is not None:
+            # A stall report per subnet: the timed-out predicate does not
+            # say which subnet it was watching, and a fully stalled subnet
+            # is indistinguishable from a healthy one in a single health
+            # sample — so snapshot them all (a bounded pure read).
+            diagnosis["stall_reports"] = [
+                self.stall_diagnoser.diagnose(path)
+                for path in sorted(diagnosis["health"])
+            ]
         self.last_timeout = diagnosis
         if self.flight_recorder is not None:
-            self.flight_recorder.dump(reason=f"wait-timeout:{label}")
+            self.flight_recorder.dump(
+                reason=f"wait-timeout:{label}",
+                stall_reports=diagnosis.get("stall_reports"),
+            )
         return diagnosis
 
     def timeout_detail(self) -> str:
@@ -416,6 +435,17 @@ class HierarchicalSystem:
                 f" pending_crossmsgs={health['pending_crossmsgs']}"
                 f" checkpoint_lag={health['checkpoint_lag']}"
             )
+        for report in diagnosis.get("stall_reports") or []:
+            quorum = report.get("quorum") or {}
+            if quorum.get("kind") == "vote-quorum":
+                lines.append(
+                    f"  {report['subnet']} quorum at h{quorum.get('height')}"
+                    f" r{quorum.get('round')}:"
+                    f" {quorum.get('held_power')}/{quorum.get('needed_power')}"
+                    f" power, silent={quorum.get('silent') or []}"
+                )
+        if self.flight_recorder is not None and self.flight_recorder.paths:
+            lines.append(f"  postmortem: {self.flight_recorder.paths[-1]}")
         return "\n".join(lines)
 
     def sca_state(self, subnet, key: str, default=None):

@@ -1,6 +1,6 @@
 """The canonical scenario library (E12's campaign corpus).
 
-Thirteen scenarios: eight honest-fault cases that must ride out their
+Fourteen scenarios: nine honest-fault cases that must ride out their
 faults ``safe``, and five adversarial cases that must trip *exactly* the
 auditor their attack targets.  Every entry is a **factory** — faults are
 stateful, so each run builds fresh objects.
@@ -15,6 +15,9 @@ Honest corpus:
 - ``lossy_links`` / ``latency_spike`` — message loss inside the subnet,
   latency on the parent link; gossip redundancy and the submit fallback
   absorb both;
+- ``round_desync`` — a harsher 50% loss window on a Tendermint subnet;
+  the regression for the liveness stall fixed by f+1 round catch-up and
+  validRound reproposal (the tendermint engine's lock-split deadlock);
 - ``leader_crash`` — validator 0 crashes and restarts; PoA skips its
   slots;
 - ``validator_churn`` — rolling crash/restart churn;
@@ -132,6 +135,30 @@ def lossy_links() -> Scenario:
             LinkDegradeFault(Trigger(at=3.0, duration=8.0), SUBNET, loss=0.15),
         ],
         duration=25.0,
+        expect=Expectation.safe(),
+    )
+
+
+def round_desync() -> Scenario:
+    """Regression for the lossy-links liveness stall (see ROADMAP).
+
+    A 50% loss window over 12s used to wedge Tendermint through three
+    distinct defects: a reentrancy clobber in the polka path (nodes stuck
+    at round -1), missing f+1 round catch-up (validators phase-shifted
+    into disjoint round cadences), and a round-0 lock split with no
+    validRound reproposal (a permanent 2-2 prevote split).  With the
+    fixes, the subnet must ride the window out and keep committing.
+    """
+    return Scenario(
+        name="round-desync",
+        description="50% message loss for 12s inside a Tendermint subnet; "
+        "round catch-up and validRound reproposal must restore liveness",
+        topology=_topology(validators=4, engine="tendermint"),
+        workload=_payments(),
+        faults=[
+            LinkDegradeFault(Trigger(at=3.0, duration=12.0), SUBNET, loss=0.5),
+        ],
+        duration=40.0,
         expect=Expectation.safe(),
     )
 
@@ -294,6 +321,7 @@ CANONICAL = (
     partition_minority,
     partition_parent_link,
     lossy_links,
+    round_desync,
     latency_spike,
     leader_crash,
     validator_churn,

@@ -22,6 +22,8 @@ tagged with the scenario and verdict, so triage starts from evidence.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -93,9 +95,15 @@ class ProgressWatchdog:
             since = previous[1]
             if now - since >= self.stall_after and path not in self._flagged:
                 self._flagged.add(path)
-                self.stalls.append(
-                    {"subnet": path, "height": height, "since": since, "time": now}
-                )
+                stall = {"subnet": path, "height": height, "since": since, "time": now}
+                diagnoser = getattr(self.system, "stall_diagnoser", None)
+                if diagnoser is not None:
+                    # Diagnose at flag time, while the wedged round state
+                    # is live — by classification time the fault may have
+                    # healed and the books moved on.  Pure read: the
+                    # report cannot perturb the run.
+                    stall["report"] = diagnoser.diagnose(path)
+                self.stalls.append(stall)
 
 
 @dataclass
@@ -113,6 +121,7 @@ class ScenarioOutcome:
     fault_log: list = field(default_factory=list)
     heights: dict = field(default_factory=dict)
     bundles: list = field(default_factory=list)  # postmortem paths
+    stall_files: list = field(default_factory=list)  # repro.stall/v1 paths
     sim: dict = field(default_factory=dict)
 
     @property
@@ -133,6 +142,7 @@ class ScenarioOutcome:
             "fault_log": list(self.fault_log),
             "heights": dict(self.heights),
             "bundles": list(self.bundles),
+            "stall_files": list(self.stall_files),
             "sim": dict(self.sim),
         }
 
@@ -340,7 +350,31 @@ class ScenarioRunner:
 
         recorder = system.flight_recorder
         if recorder is not None and verdict not in OK_VERDICTS:
-            recorder.dump(reason=f"scenario:{scenario.name}:{verdict}")
+            recorder.dump(
+                reason=f"scenario:{scenario.name}:{verdict}",
+                stall_reports=[
+                    stall["report"] for stall in stalls if stall.get("report")
+                ],
+            )
+
+        # On a liveness stall, also save each stall report standalone
+        # (schema repro.stall/v1) — CI uploads these as artifacts and
+        # `python -m repro.telemetry.postmortem stall_*.json` renders them.
+        stall_files: list = []
+        if verdict == VERDICT_STALL and self.postmortem_dir:
+            os.makedirs(self.postmortem_dir, exist_ok=True)
+            for stall in stalls:
+                report = stall.get("report")
+                if not report:
+                    continue
+                slug = report["subnet"].strip("/").replace("/", "_")
+                path = os.path.join(
+                    self.postmortem_dir,
+                    f"stall_{scenario.name}_s{self.seed}_{slug}.json",
+                )
+                with open(path, "w", encoding="utf-8") as handle:
+                    json.dump(report, handle, indent=2, default=str)
+                stall_files.append(path)
 
         return ScenarioOutcome(
             scenario=scenario.name,
@@ -357,6 +391,7 @@ class ScenarioRunner:
                 for subnet in system.subnets
             },
             bundles=list(recorder.paths) if recorder is not None else [],
+            stall_files=stall_files,
             sim={
                 "now": system.sim.now,
                 "seed": system.sim.seed,

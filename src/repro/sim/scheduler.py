@@ -229,6 +229,9 @@ class Simulator:
         # Sibling slot for a repro.telemetry.InvariantMonitor, under the
         # same contract: duck-typed, metrics-only, digest-neutral.
         self.invariant_monitor = None
+        # Sibling slot for a repro.telemetry.RoundTracer: consensus
+        # engines feed round/view transitions here (same contract).
+        self.round_tracer = None
         # Scratch space for cross-component memoization of deterministic
         # computations (e.g. the runtime's shared block-execution cache).
         # Contents must never influence observable simulation behaviour —

@@ -26,6 +26,11 @@ from repro.telemetry.monitor import (
 )
 from repro.telemetry.profiler import SamplingProfiler
 from repro.telemetry.recorder import FlightRecorder
+from repro.telemetry.rounds import (
+    RoundTracer,
+    StallDiagnoser,
+    render_stall_report,
+)
 from repro.telemetry.spans import SpanTracer, route_shape, subnet_level
 
 
@@ -48,11 +53,14 @@ __all__ = [
     "InvariantMonitor",
     "InvariantViolation",
     "MembershipAuditor",
+    "RoundTracer",
     "SamplingProfiler",
     "SpanTracer",
+    "StallDiagnoser",
     "SupplyAuditor",
     "diff_profiles",
     "render_diff",
+    "render_stall_report",
     "route_shape",
     "subnet_level",
     "telemetry_snapshot",

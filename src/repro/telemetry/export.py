@@ -34,6 +34,7 @@ def telemetry_snapshot(
     profiler=None,
     wall_seconds: Optional[float] = None,
     extra: Optional[dict] = None,
+    rounds=None,
 ) -> dict:
     """One JSON-safe document describing a finished (or running) run."""
     metrics = sim.metrics
@@ -67,6 +68,10 @@ def telemetry_snapshot(
         snapshot["invariants"] = monitor.summary()
     if profiler is not None:
         snapshot["profile"] = profiler.snapshot()
+    if rounds is None:
+        rounds = getattr(sim, "round_tracer", None)
+    if rounds is not None:
+        snapshot["rounds"] = rounds.summary()
     if extra:
         snapshot["extra"] = extra
     return snapshot
@@ -163,9 +168,12 @@ def write_prometheus(path: str, sim) -> str:
 _SUBNET_PID = 1
 _DISPATCH_PID = 2
 _PROFILE_PID = 3
+_ROUNDS_PID = 4
 
 
-def to_chrome_trace(sim, tracer=None, top_dispatch: int = 16, profiler=None) -> dict:
+def to_chrome_trace(
+    sim, tracer=None, top_dispatch: int = 16, profiler=None, rounds=None
+) -> dict:
     """Chrome trace-event JSON: subnet span tracks + a dispatch profile.
 
     Cross-net/checkpoint spans use **simulated** microseconds; the
@@ -174,7 +182,11 @@ def to_chrome_trace(sim, tracer=None, top_dispatch: int = 16, profiler=None) -> 
     :class:`~repro.telemetry.profiler.SamplingProfiler` adds a third
     process: per-label sampled-CPU slices (samples × interval laid
     end-to-end, top leaf frames in the args) and an RSS counter track on
-    the profiler's real wall-clock timeline.
+    the profiler's real wall-clock timeline.  A
+    :class:`~repro.telemetry.rounds.RoundTracer` (passed explicitly or
+    found on ``sim.round_tracer``) adds a fourth process: one track per
+    validator carrying its consensus rounds as slices (``h12 r0`` …) with
+    votes, locks, timeouts and commits as instant events inside them.
     """
     events: list[dict] = []
     events.append(_meta(_SUBNET_PID, "process_name", name="subnets (simulated time)"))
@@ -294,7 +306,73 @@ def to_chrome_trace(sim, tracer=None, top_dispatch: int = 16, profiler=None) -> 
                 "pid": _PROFILE_PID,
                 "args": {"bytes": rss},
             })
+
+    if rounds is None:
+        rounds = getattr(sim, "round_tracer", None)
+    if rounds is not None:
+        events.extend(_round_events(rounds))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _round_events(rounds) -> list:
+    """Per-validator consensus-round tracks (simulated time).
+
+    Each validator gets a thread; ``round_start``/``round_skip`` entries
+    become slices spanning until the next round boundary (or commit), and
+    every other event kind lands inside as an instant with its fields.
+    """
+    events: list[dict] = []
+    events.append(
+        _meta(_ROUNDS_PID, "process_name", name="consensus rounds (simulated time)")
+    )
+    keys = sorted(rounds.timelines)
+    tids = {key: i + 1 for i, key in enumerate(keys)}
+    for key, tid in tids.items():
+        subnet, node_id = key
+        events.append(_meta(_ROUNDS_PID, "thread_name", tid=tid, name=node_id))
+        timeline = rounds.timeline(subnet, node_id)
+        open_slice = None  # (start_ts, name, fields)
+
+        def close(end_ts: float) -> None:
+            nonlocal open_slice
+            if open_slice is None:
+                return
+            start, name, fields = open_slice
+            events.append({
+                "name": name,
+                "cat": "round",
+                "ph": "X",
+                "ts": start * 1e6,
+                "dur": max((end_ts - start) * 1e6, 1.0),
+                "pid": _ROUNDS_PID,
+                "tid": tid,
+                "args": fields,
+            })
+            open_slice = None
+
+        for time, kind, fields in timeline:
+            if kind in ("round_start", "round_skip"):
+                close(time)
+                name = f"h{fields.get('height')} r{fields.get('round')}"
+                if kind == "round_skip":
+                    name += " (skip)"
+                open_slice = (time, name, dict(fields))
+            else:
+                events.append({
+                    "name": kind,
+                    "cat": "round",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": time * 1e6,
+                    "pid": _ROUNDS_PID,
+                    "tid": tid,
+                    "args": dict(fields),
+                })
+                if kind == "commit":
+                    close(time)
+        if open_slice is not None and timeline:
+            close(timeline[-1][0])
+    return events
 
 
 def _meta(pid: int, kind: str, tid: int = 0, name: str = "") -> dict:
@@ -308,11 +386,11 @@ def _meta(pid: int, kind: str, tid: int = 0, name: str = "") -> dict:
 
 
 def write_chrome_trace(
-    path: str, sim, tracer=None, top_dispatch: int = 16, profiler=None
+    path: str, sim, tracer=None, top_dispatch: int = 16, profiler=None, rounds=None
 ) -> str:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(
-            to_chrome_trace(sim, tracer, top_dispatch, profiler=profiler),
+            to_chrome_trace(sim, tracer, top_dispatch, profiler=profiler, rounds=rounds),
             handle,
             allow_nan=False,
         )

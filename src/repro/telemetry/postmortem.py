@@ -54,6 +54,14 @@ def render(bundle: dict, tail: int = 20) -> str:
         out.append("")
         out.append(table.render())
 
+    stall_reports = bundle.get("stall_reports") or []
+    if stall_reports:
+        from repro.telemetry.rounds import render_stall_report
+
+        for report in stall_reports:
+            out.append("")
+            out.append(render_stall_report(report))
+
     heads = bundle.get("heads") or {}
     if heads:
         table = Table("subnet heads", ["subnet", "height", "cid"])
@@ -128,9 +136,16 @@ def main(argv: Optional[list] = None) -> int:
         print(f"error: cannot read postmortem bundle {args.bundle!r}: {err}",
               file=sys.stderr)
         return 1
-    if bundle.get("schema") != _SCHEMA:
+    schema = bundle.get("schema")
+    if schema == "repro.stall/v1":
+        # A standalone stall report (CI artifacts save these directly).
+        from repro.telemetry.rounds import render_stall_report
+
+        print(render_stall_report(bundle))
+        return 0
+    if schema != _SCHEMA:
         print(
-            f"warning: unexpected schema {bundle.get('schema')!r} "
+            f"warning: unexpected schema {schema!r} "
             f"(expected {_SCHEMA!r})",
             file=sys.stderr,
         )

@@ -94,8 +94,19 @@ class FlightRecorder:
     # ------------------------------------------------------------------
     # Bundles
     # ------------------------------------------------------------------
-    def dump(self, violation=None, reason: Optional[str] = None) -> dict:
-        """Freeze the rings into a bundle; write it if an out dir is set."""
+    def dump(
+        self,
+        violation=None,
+        reason: Optional[str] = None,
+        stall_reports: Optional[list] = None,
+    ) -> dict:
+        """Freeze the rings into a bundle; write it if an out dir is set.
+
+        *stall_reports* is a list of ``repro.stall/v1`` documents (see
+        :class:`~repro.telemetry.rounds.StallDiagnoser`) — watchdogs and
+        ``wait_for`` timeouts attach them so the bundle names the missing
+        quorum, not just the stuck heights.
+        """
         sim = self.sim
         monitor = getattr(sim, "invariant_monitor", None)
         bundle = {
@@ -119,6 +130,7 @@ class FlightRecorder:
             "open_spans": self._open_spans(),
             "metrics": _plain(sim.metrics.snapshot()),
             "heads": self._heads(),
+            "stall_reports": _plain(list(stall_reports or [])),
         }
         self.bundles.append(bundle)
         if self.out_dir:

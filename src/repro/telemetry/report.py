@@ -78,6 +78,12 @@ def summarize(snapshot: dict) -> dict:
         "invariant_counters": _invariant_counters(counters),
         "caches": _cache_stats(counters, gauges),
         "profile": snapshot.get("profile"),
+        "rounds": snapshot.get("rounds"),
+        "round_histograms": {
+            name: histograms[name]
+            for name in sorted(histograms)
+            if name.startswith("consensus.round.")
+        },
         "hops": [
             {"hop": kind, "level": level, **summary}
             for kind, level, summary in _latency_rows(histograms)
@@ -175,6 +181,32 @@ def render(snapshot: dict) -> str:
         sections.append(table.render())
 
     histograms = snapshot.get("histograms", {})
+
+    rounds = snapshot.get("rounds")
+    if rounds and rounds.get("subnets"):
+        table = Table(
+            "consensus rounds per subnet",
+            ["subnet", "frontier", "quorum", "prevote", "precommit",
+             "skips", "timeouts", "rounds/height p95"],
+        )
+        for path in sorted(rounds["subnets"]):
+            entry = rounds["subnets"][path]
+            counts = entry.get("counts") or {}
+            per_height = histograms.get(f"consensus.round.{path}.per_height") or {}
+            frontier = (
+                f"h{entry.get('frontier_height')} r{entry.get('frontier_round')}"
+                if entry.get("frontier_height") is not None else "-"
+            )
+            table.add_row(
+                path, frontier,
+                _fmt(entry.get("quorum_power")),
+                _fmt(entry.get("prevote_power")),
+                _fmt(entry.get("precommit_power")),
+                counts.get("round_skip", 0),
+                counts.get("timeout", 0),
+                _fmt(per_height.get("p95")),
+            )
+        sections.append(table.render())
 
     hop_rows = _latency_rows(histograms)
     if hop_rows:

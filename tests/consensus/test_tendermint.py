@@ -76,6 +76,27 @@ def test_tendermint_rounds_advance_without_proposer(make_cluster):
     assert commit_rounds.max() >= 1
 
 
+def test_tendermint_survives_lossy_window_and_recovers(make_cluster):
+    """Regression for the lossy-links liveness stall: a 50% loss window
+    used to wedge the cluster *permanently* — timeouts phase-shifted the
+    validators into disjoint round cadences, and a round-0 lock split
+    could never resolve because reproposals of the locked block (carrying
+    the original miner's address) failed the proposer-eligibility check.
+    With f+1 round catch-up and validRound reproposal, every validator
+    must commit fresh heights once the links heal."""
+    cluster = make_cluster(4, engine="tendermint", block_time=0.5, seed=3).start()
+    cluster.run(3.0)
+    ids = [f"n{i}" for i in range(4)]
+    cluster.stack.transport.set_link(ids, ids, loss=0.5)
+    cluster.run(12.0)
+    cluster.stack.transport.set_link(ids, ids, loss=0.0)
+    wedged_at = max(cluster.heights())
+    cluster.run(10.0)
+    assert min(cluster.heights()) > wedged_at
+    for node in cluster.nodes:
+        assert node.store.fork_count() == 0
+
+
 def test_tendermint_deterministic(make_cluster):
     def run():
         cluster = make_cluster(4, engine="tendermint", seed=41).start()

@@ -145,8 +145,9 @@ def test_library_registry_names_and_lookup():
     from repro.scenario import library
 
     names = library.names()
-    assert len(names) == len(library.CANONICAL) == 13
+    assert len(names) == len(library.CANONICAL) == 14
     assert "baseline-healthy" in names
+    assert "round-desync" in names
     assert library.get("baseline-healthy")().name == "baseline-healthy"
     with pytest.raises(ScenarioError):
         library.get("no-such-scenario")

@@ -151,6 +151,15 @@ def test_checkpoint_withholding_trips_auditor_honest_twin_stays_clean():
     assert honest.violations == []
 
 
+def test_round_desync_scenario_rides_out_the_loss_window():
+    """The satellite regression scenario for the Tendermint liveness
+    stall: 50% loss for 12s must end clean — no stall, no violation."""
+    outcome = ScenarioRunner(library.round_desync(), seed=1).run()
+    assert outcome.verdict == "clean"
+    assert outcome.ok
+    assert outcome.stalls == []
+
+
 def test_unexpected_violation_dumps_postmortem_bundle(tmp_path):
     """Mislabel an attack as safe: the runner must flag it UNEXPECTED and
     leave postmortem evidence behind."""
@@ -187,6 +196,35 @@ def test_fault_log_records_inject_and_heal():
     events = [(entry["event"], entry["kind"]) for entry in outcome.fault_log]
     assert events == [("inject", "link-degrade"), ("heal", "link-degrade")]
     assert outcome.verdict == "clean"
+
+
+def test_liveness_stall_writes_standalone_stall_reports(tmp_path, capsys):
+    """An undeclared full-subnet stall: the verdict is liveness-stall and
+    each stall report is saved standalone (the CI artifact shape) with
+    schema repro.stall/v1, renderable by the postmortem CLI."""
+    import json
+
+    from repro.telemetry.postmortem import main as postmortem_main
+
+    scenario = _tiny_scenario(
+        name="wedged",
+        faults=[CrashFault(Trigger(at=2.0), "/root/s0", select="all")],
+        duration=16.0,
+    )
+    outcome = ScenarioRunner(
+        scenario, seed=13, postmortem_dir=str(tmp_path)
+    ).run()
+    assert outcome.verdict == "liveness-stall"
+    assert outcome.stall_files
+    for path in outcome.stall_files:
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+        assert report["schema"] == "repro.stall/v1"
+        assert report["subnet"] == "/root/s0"
+        assert postmortem_main([path]) == 0
+    assert "stall report: /root/s0" in capsys.readouterr().out
+    # The outcome dict (what lands in campaign JSON) carries the paths.
+    assert outcome.as_dict()["stall_files"] == outcome.stall_files
 
 
 def test_degrades_expectation_matches_stall():

@@ -12,6 +12,7 @@ from pathlib import Path
 
 from repro.sim.scheduler import Simulator
 from repro.telemetry import (
+    RoundTracer,
     SpanTracer,
     telemetry_snapshot,
     to_chrome_trace,
@@ -74,6 +75,28 @@ def _synthetic():
     sim.metrics.gauge("profile.interval_s").set(0.005)
     sim.metrics.gauge("profile.cpu_share.poa:/root/a#0").set(0.625)
     sim.metrics.gauge("profile.alloc_bytes.poa:/root/a#0").set(2048)
+
+    # A consensus round on /root/a: validator 0 times out of round 0,
+    # skips to round 1 (f+1 catch-up), then the proposal arrives, the
+    # quorum prevotes, the polka locks and the height commits.
+    rounds = RoundTracer(sim).install()
+    val = "/root/a#0"
+
+    def feed(time, kind, **fields):
+        rounds.on_round_event("/root/a", val, kind, time, fields)
+
+    feed(1.0, "round_start", height=3, round=0, proposer=val,
+         quorum=3, total=4)
+    feed(2.0, "timeout", height=3, round=0, step="propose")
+    feed(2.1, "round_skip", height=3, round=1, proposer="/root/a#1",
+         quorum=3, total=4)
+    feed(2.2, "proposal", height=3, round=1, proposer="/root/a#1",
+         cid="dd" * 8)
+    for i in range(3):
+        feed(2.3 + i / 10, "vote", height=3, round=1, vote_type="prevote",
+             voter=f"/root/a#{i}", power=1, cid="dd" * 8)
+    feed(2.6, "lock", height=3, round=1, cid="dd" * 8)
+    feed(2.7, "commit", height=3, round=1, cid="dd" * 8)
     return sim, tracer
 
 
@@ -148,6 +171,46 @@ def test_prometheus_declares_profiler_families():
     assert "# TYPE profile_cpu_share_poa:_root_a_0 gauge" in text
     assert "profile_cpu_share_poa:_root_a_0 0.625" in text
     assert "# HELP profile_cpu_share_poa:_root_a_0 profile.cpu_share.poa:/root/a#0" in text
+
+
+def test_prometheus_declares_round_families():
+    """consensus.round.* gauges/counters/histograms export with HELP/TYPE."""
+    sim, _tracer = _synthetic()
+    text = to_prometheus(sim)
+    assert "# TYPE consensus_round__root_a_height gauge" in text
+    assert "# HELP consensus_round__root_a_height consensus.round./root/a.height" in text
+    assert "consensus_round__root_a_height 3" in text
+    assert "consensus_round__root_a_number 1" in text
+    assert "# TYPE consensus_round__root_a_quorum_power gauge" in text
+    assert "consensus_round__root_a_quorum_power 3" in text
+    assert "consensus_round__root_a_prevote_power 3" in text
+    assert "# TYPE consensus_round__root_a_skips counter" in text
+    assert "consensus_round__root_a_skips 1" in text
+    assert "consensus_round__root_a_timeouts 1" in text
+    assert "consensus_round__root_a_locks 1" in text
+    assert "# TYPE consensus_round__root_a_duration summary" in text
+    assert "# TYPE consensus_round__root_a_per_height summary" in text
+    assert "consensus_round__root_a_per_height_count 1" in text
+
+
+def test_chrome_trace_round_tracks():
+    """Round events render as one pid-4 track per validator: slices for
+    rounds, instants for votes/locks/commits inside them."""
+    sim, tracer = _synthetic()
+    events = to_chrome_trace(sim, tracer)["traceEvents"]
+    rounds = [e for e in events if e["pid"] == 4]
+    names = {
+        e["args"]["name"] for e in rounds
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert names == {"/root/a#0"}
+    slices = [e for e in rounds if e["ph"] == "X"]
+    assert [s["name"] for s in slices] == ["h3 r0", "h3 r1 (skip)"]
+    assert all(s["dur"] > 0 for s in slices)
+    instants = [e["name"] for e in rounds if e["ph"] == "i"]
+    assert instants == [
+        "timeout", "proposal", "vote", "vote", "vote", "lock", "commit",
+    ]
 
 
 def test_prometheus_sanitizes_names():
@@ -275,6 +338,26 @@ def test_report_renders_profile_section(tmp_path, capsys):
     assert summary["profile"]["samples"] == sum(
         row["samples"] for row in summary["profile"]["labels"].values()
     )
+
+
+def test_report_renders_rounds_section(tmp_path, capsys):
+    sim, tracer = _synthetic()
+    path = str(tmp_path / "dump.json")
+    write_json(path, telemetry_snapshot(sim, tracer=tracer))
+    assert report_main([path]) == 0
+    out = capsys.readouterr().out
+    assert "consensus rounds per subnet" in out
+    assert "h3 r1" in out
+
+    assert report_main([path, "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    entry = summary["rounds"]["subnets"]["/root/a"]
+    assert entry["frontier_height"] == 3
+    assert entry["frontier_round"] == 1
+    assert entry["quorum_power"] == 3
+    assert entry["prevote_power"] == 3
+    assert entry["counts"]["round_skip"] == 1
+    assert "consensus.round./root/a.duration" in summary["round_histograms"]
 
 
 def test_report_renders_invariants_section(tmp_path, capsys):
