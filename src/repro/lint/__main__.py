@@ -18,6 +18,7 @@ from repro.lint.baseline import (
     write_baseline,
 )
 from repro.lint.engine import lint_paths
+from repro.lint.findings import Severity
 from repro.lint.rules import ALL_RULES
 
 
@@ -53,9 +54,12 @@ def main(argv=None) -> int:
                         help="ignore the baseline; report everything")
     parser.add_argument("--write-baseline", action="store_true",
                         help="write all current findings to the baseline file and exit")
-    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--format", choices=("text", "json", "github"), default="text")
     parser.add_argument("--rules", default=None,
                         help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--contracts", default=None, metavar="PATH",
+                        help="dump the extracted contract graph as JSON to PATH "
+                             "('-' for stdout)")
     args = parser.parse_args(argv)
 
     rules = ALL_RULES
@@ -70,6 +74,17 @@ def main(argv=None) -> int:
     baseline = None if args.no_baseline else load_baseline(baseline_path)
 
     report = lint_paths(args.paths, baseline=baseline, rules=rules)
+
+    if args.contracts:
+        if report.graph is None:
+            parser.error("--contracts requires at least one graph rule "
+                         "(MSG*/MET*/SCN*) to be enabled")
+        document = json.dumps(report.graph.to_json(), indent=2, sort_keys=True)
+        if args.contracts == "-":
+            print(document)
+        else:
+            with open(args.contracts, "w", encoding="utf-8") as handle:
+                handle.write(document + "\n")
 
     if args.write_baseline:
         count = write_baseline(baseline_path, report.findings + report.baselined)
@@ -101,6 +116,28 @@ def main(argv=None) -> int:
             indent=2,
         )
         print()
+        return 0 if report.ok else 1
+
+    if args.format == "github":
+        # Workflow-command annotations: one line per finding, surfaced by
+        # GitHub as inline PR comments.  Messages must be single-line with
+        # %, CR and LF percent-escaped.
+        def esc(text: str) -> str:
+            return (
+                text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+            )
+
+        for path, err in report.parse_errors:
+            print(f"::error file={path},title=parse-error::{esc(err)}")
+        for f in report.findings:
+            level = "error" if f.severity is Severity.ERROR else "warning"
+            message = f.message if not f.fix_hint else f"{f.message} [{f.fix_hint}]"
+            print(
+                f"::{level} file={f.path},line={f.line},col={f.col + 1},"
+                f"title={f.rule_id}::{esc(message)}"
+            )
+        for entry in report.stale_baseline:
+            print(f"::warning title=stale-baseline::{esc(entry)}")
         return 0 if report.ok else 1
 
     for path, err in report.parse_errors:

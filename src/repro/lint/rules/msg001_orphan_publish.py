@@ -1,0 +1,58 @@
+"""MSG001 — a gossip publish whose topic no subscriber anywhere matches.
+
+Topics are the transport seam between ``runtime``, ``hierarchy`` and
+``net``: a publish on a topic nobody subscribes to is delivered to an
+empty mesh and vanishes without an error.  Every publish site's resolved
+topic pattern must be compatible with at least one subscribe site's
+pattern somewhere in the linted tree.
+
+The check is skipped when the tree contains no subscriptions at all
+(linting a partial tree, e.g. a single producer module, proves nothing
+about the full program).
+"""
+
+from __future__ import annotations
+
+from repro.lint.contracts import (
+    ContractGraph,
+    closest_patterns,
+    patterns_compatible,
+    site_suppressed,
+)
+from repro.lint.findings import Finding
+from repro.lint.rules.base import GraphRule, endpoints
+
+
+def _nearest(pattern: str, sites) -> str:
+    by_pattern: dict = {}
+    for site in sites:
+        by_pattern.setdefault(site.pattern, []).append(site)
+    parts = []
+    for near in closest_patterns(pattern, by_pattern):
+        parts.append(f"'{near}' ({endpoints(by_pattern[near])})")
+    return "; ".join(parts)
+
+
+class Msg001OrphanPublish(GraphRule):
+    rule_id = "MSG001"
+    fix_hint = "align the topic string with an existing subscription, or remove the publish"
+
+    def check_graph(self, graph: ContractGraph) -> list[Finding]:
+        findings: list[Finding] = []
+        if not graph.topics_subscribed:
+            return findings
+        sub_patterns = {site.pattern for site in graph.topics_subscribed}
+        for pub in graph.topics_published:
+            if site_suppressed(pub, self.rule_id):
+                continue
+            if any(patterns_compatible(pub.pattern, p) for p in sub_patterns):
+                continue
+            findings.append(
+                self.site_finding(
+                    pub,
+                    f"publish on topic '{pub.pattern}' has no subscriber anywhere "
+                    f"in the tree; nearest subscriptions: "
+                    f"{_nearest(pub.pattern, graph.topics_subscribed)}",
+                )
+            )
+        return findings

@@ -1,0 +1,54 @@
+"""MSG002 — a subscription on a topic nothing ever publishes.
+
+The mirror image of MSG001: a handler wired to a topic no publisher
+matches can never fire, which usually means the topic string drifted on
+one side of the seam (the handler silently stops receiving and every
+downstream invariant built on it goes quiet).
+
+Skipped when the tree contains no publishes at all (partial tree).
+"""
+
+from __future__ import annotations
+
+from repro.lint.contracts import (
+    ContractGraph,
+    closest_patterns,
+    patterns_compatible,
+    site_suppressed,
+)
+from repro.lint.findings import Finding
+from repro.lint.rules.base import GraphRule, endpoints
+
+
+def _nearest(pattern: str, sites) -> str:
+    by_pattern: dict = {}
+    for site in sites:
+        by_pattern.setdefault(site.pattern, []).append(site)
+    parts = []
+    for near in closest_patterns(pattern, by_pattern):
+        parts.append(f"'{near}' ({endpoints(by_pattern[near])})")
+    return "; ".join(parts)
+
+
+class Msg002DeadSubscription(GraphRule):
+    rule_id = "MSG002"
+    fix_hint = "align the topic string with an existing publish, or remove the subscription"
+
+    def check_graph(self, graph: ContractGraph) -> list[Finding]:
+        findings: list[Finding] = []
+        if not graph.topics_published:
+            return findings
+        pub_patterns = {site.pattern for site in graph.topics_published}
+        for sub in graph.topics_subscribed:
+            if site_suppressed(sub, self.rule_id):
+                continue
+            if any(patterns_compatible(sub.pattern, p) for p in pub_patterns):
+                continue
+            findings.append(
+                self.site_finding(
+                    sub,
+                    f"subscription on topic '{sub.pattern}' that nothing publishes; "
+                    f"nearest publishes: {_nearest(sub.pattern, graph.topics_published)}",
+                )
+            )
+        return findings

@@ -1,0 +1,56 @@
+"""MSG003 — an RPC call to a method no peer registers a server for.
+
+``RpcChannel.call`` with a method string nobody ``expose``d times out on
+every request: the caller's error path runs, but the intended exchange
+(e.g. ``chain:blocks`` block-range sync) silently never happens.  Every
+call site's method pattern must be compatible with at least one
+registered endpoint's pattern.
+
+Skipped when the tree registers no endpoints at all (partial tree).
+"""
+
+from __future__ import annotations
+
+from repro.lint.contracts import (
+    ContractGraph,
+    closest_patterns,
+    patterns_compatible,
+    site_suppressed,
+)
+from repro.lint.findings import Finding
+from repro.lint.rules.base import GraphRule, endpoints
+
+
+def _nearest(pattern: str, sites) -> str:
+    by_pattern: dict = {}
+    for site in sites:
+        by_pattern.setdefault(site.pattern, []).append(site)
+    parts = []
+    for near in closest_patterns(pattern, by_pattern):
+        parts.append(f"'{near}' ({endpoints(by_pattern[near])})")
+    return "; ".join(parts)
+
+
+class Msg003UnservedRpc(GraphRule):
+    rule_id = "MSG003"
+    fix_hint = "match the call's method string to a registered expose(), or register the endpoint"
+
+    def check_graph(self, graph: ContractGraph) -> list[Finding]:
+        findings: list[Finding] = []
+        if not graph.rpc_served:
+            return findings
+        served_patterns = {site.pattern for site in graph.rpc_served}
+        for call in graph.rpc_called:
+            if site_suppressed(call, self.rule_id):
+                continue
+            if any(patterns_compatible(call.pattern, p) for p in served_patterns):
+                continue
+            findings.append(
+                self.site_finding(
+                    call,
+                    f"RPC call to method '{call.pattern}' with no registered server "
+                    f"endpoint; registered endpoints: "
+                    f"{_nearest(call.pattern, graph.rpc_served)}",
+                )
+            )
+        return findings

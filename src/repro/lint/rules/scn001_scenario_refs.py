@@ -1,0 +1,60 @@
+"""SCN001 — a scenario referencing an auditor or fault kind that does not exist.
+
+Scenario expectations (``violates("finality")``) and fault specs
+(``kind = "partition"``) are resolved by string lookup at run time; a
+name that matches no registered auditor/fault class either raises deep
+inside a campaign or — worse, for ``tolerate`` lists — silently never
+trips, making the scenario's pass unconditional.  Every reference, in
+Python or in a TOML spec, must name a declared registry key exactly.
+
+Each side is skipped when the tree declares no keys of that kind
+(partial tree without the registry module in view).
+"""
+
+from __future__ import annotations
+
+from repro.lint.contracts import ContractGraph, closest_patterns, site_suppressed
+from repro.lint.findings import Finding
+from repro.lint.rules.base import GraphRule, endpoints
+
+
+class Scn001ScenarioRefs(GraphRule):
+    rule_id = "SCN001"
+    fix_hint = "use a registered name, or register the auditor/fault class"
+
+    def check_graph(self, graph: ContractGraph) -> list[Finding]:
+        findings: list[Finding] = []
+        findings.extend(
+            self._check(
+                graph.auditors_referenced, graph.auditors_declared, "auditor"
+            )
+        )
+        findings.extend(
+            self._check(
+                graph.fault_kinds_referenced, graph.fault_kinds_declared, "fault kind"
+            )
+        )
+        return findings
+
+    def _check(self, referenced, declared, what: str) -> list[Finding]:
+        if not declared:
+            return []
+        known = {site.pattern: site for site in declared}
+        findings: list[Finding] = []
+        for ref in referenced:
+            if site_suppressed(ref, self.rule_id):
+                continue
+            if ref.pattern in known:
+                continue
+            near = "; ".join(
+                f"'{p}' ({endpoints([known[p]])})"
+                for p in closest_patterns(ref.pattern, known)
+            )
+            findings.append(
+                self.site_finding(
+                    ref,
+                    f"scenario references unknown {what} '{ref.pattern}'; "
+                    f"declared: {near}",
+                )
+            )
+        return findings

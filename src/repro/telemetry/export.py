@@ -87,6 +87,152 @@ def write_json(path: str, snapshot: dict) -> str:
 # ----------------------------------------------------------------------
 # Prometheus text exposition
 # ----------------------------------------------------------------------
+#: The declared metric surface: every family the system emits, keyed by a
+#: dotted name pattern (``*`` = one interpolated segment, e.g. a subnet
+#: path; a trailing ``*`` covers one or more), mapping to its Prometheus
+#: type and HELP text.  ``repro.lint``'s MET001 cross-checks this table
+#: against every emit site in the tree — both ways — so keep it in sync
+#: when adding or renaming metrics.  Interpolated values (subnet paths,
+#: node ids, dispatch labels) never contain dots.
+METRIC_CATALOG: dict = {
+    # net/transport
+    "net.sent": ("counter", "messages handed to the transport"),
+    "net.delivered": ("counter", "messages delivered to a registered peer"),
+    "net.latency": ("summary", "per-message simulated delivery latency"),
+    "net.partitioned_drops": ("counter", "messages dropped by an active partition"),
+    "net.lost": ("counter", "messages dropped by random loss"),
+    # net/gossip
+    "gossip.published": ("counter", "pubsub messages published"),
+    "gossip.delivered": ("counter", "pubsub deliveries to subscriber handlers"),
+    "gossip.latency": ("summary", "publish-to-handler simulated latency"),
+    # chain/runtime (per-subnet)
+    "chain.*.blocks": ("gauge", "blocks committed (event series)"),
+    "chain.*.txs": ("gauge", "transactions committed (event series)"),
+    "chain.*.invalid_blocks": ("counter", "blocks rejected by validation"),
+    "chain.*.reorgs": ("counter", "chain reorganisations applied"),
+    "chain.*.reorg.depth": ("summary", "depth of applied reorgs"),
+    "chain.*.state_mismatch": ("counter", "blocks rejected on state-root mismatch"),
+    "chain.*.sync_blocks": ("counter", "blocks applied via range sync"),
+    "chain.*.sync_failed": ("counter", "failed block-range sync attempts"),
+    # state
+    "state.root.buckets_rehashed": ("gauge", "buckets rehashed by the last incremental root"),
+    "state.tree.layer_depth": ("gauge", "depth of the state hash tree"),
+    # consensus engines (per-subnet)
+    "consensus.*.proposed": ("counter", "blocks proposed by this engine"),
+    "consensus.*.mined": ("counter", "blocks mined (PoW)"),
+    "consensus.*.accepted": ("counter", "proposals accepted"),
+    "consensus.*.rejected": ("counter", "proposals rejected"),
+    "consensus.*.withheld": ("counter", "proposals withheld by a byzantine engine"),
+    "consensus.*.votes_withheld": ("counter", "votes withheld by a byzantine engine"),
+    "consensus.*.equivocations_sent": ("counter", "equivocating proposals sent"),
+    "consensus.*.equivocations_observed": ("counter", "equivocations observed"),
+    "consensus.*.round_skips": ("counter", "rounds skipped on timeout"),
+    "consensus.*.rounds": ("counter", "consensus rounds started"),
+    "consensus.*.caught_up": ("counter", "catch-up syncs completed"),
+    "consensus.*.committed": ("counter", "blocks committed by consensus"),
+    "consensus.*.block_interval": ("summary", "inter-block simulated time"),
+    "consensus.*.commit_round": ("summary", "round number at commit"),
+    # consensus round tracer (per-subnet)
+    "consensus.round.*.duration": ("summary", "simulated duration of a round"),
+    "consensus.round.*.per_height": ("summary", "rounds needed per committed height"),
+    "consensus.round.*.skips": ("counter", "round skips observed by the tracer"),
+    "consensus.round.*.timeouts": ("counter", "round timeouts observed by the tracer"),
+    "consensus.round.*.locks": ("counter", "value locks observed by the tracer"),
+    "consensus.round.*.height": ("gauge", "current working height"),
+    "consensus.round.*.number": ("gauge", "current round number"),
+    "consensus.round.*.quorum_power": ("gauge", "power required for quorum"),
+    "consensus.round.*.prevote_power": ("gauge", "prevote power held at the frontier"),
+    "consensus.round.*.precommit_power": ("gauge", "precommit power held at the frontier"),
+    # hierarchy: checkpointing (per-subnet) and anchoring spans
+    "checkpoint.*.submitted": ("counter", "checkpoints submitted to the parent"),
+    "checkpoint.*.equivocations": ("counter", "checkpoint equivocations detected"),
+    "checkpoint.*.fraud_proofs": ("counter", "checkpoint fraud proofs accepted"),
+    "checkpoint.lag": ("summary", "seal-to-commit lag of anchored checkpoints"),
+    "checkpoint.lag.L*": ("summary", "checkpoint lag by source-subnet level"),
+    "checkpoint.hop.seal_to_submit": ("summary", "checkpoint seal-to-submit hop time"),
+    "checkpoint.hop.submit_to_commit": ("summary", "checkpoint submit-to-commit hop time"),
+    # hierarchy: cross-net messaging (per-subnet)
+    "crossmsg.*.topdown_ok": ("counter", "top-down cross-messages applied"),
+    "crossmsg.*.topdown_failed": ("counter", "top-down cross-messages failed"),
+    "crossmsg.*.bottomup_ok": ("counter", "bottom-up cross-messages applied"),
+    "crossmsg.*.bottomup_failed": ("counter", "bottom-up cross-messages failed"),
+    "crosspool.*.topdown_seen": ("counter", "top-down cross-messages pooled"),
+    "crosspool.*.bottomup_seen": ("counter", "bottom-up cross-messages pooled"),
+    # hierarchy: content resolution
+    "resolution.push_sent": ("counter", "content pushes sent"),
+    "resolution.push_stored": ("counter", "pushed content stored"),
+    "resolution.push_dropped": ("counter", "pushed content dropped (cache full)"),
+    "resolution.pull_sent": ("counter", "content pulls sent"),
+    "resolution.pull_served": ("counter", "content pulls served"),
+    "resolution.pull_miss": ("counter", "content pulls that missed"),
+    "resolution.resolved": ("counter", "contents resolved end-to-end"),
+    "resolution.bad_content": ("counter", "contents failing CID verification"),
+    # hierarchy: checkpoint acceleration
+    "accel.certified": ("counter", "acceleration certificates issued"),
+    "accel.received": ("counter", "acceleration certificates received"),
+    "accel.settled": ("counter", "accelerated checkpoints settled"),
+    "accel.expired": ("counter", "acceleration certificates expired"),
+    "accel.bad_certificates": ("counter", "invalid acceleration certificates"),
+    # telemetry: cross-net span tracer
+    "xnet.spans.started": ("counter", "cross-net spans started"),
+    "xnet.spans.delivered": ("counter", "cross-net spans delivered"),
+    "xnet.spans.failed": ("counter", "cross-net spans failed"),
+    "xnet.hop.submit": ("summary", "submit-to-enqueue hop time"),
+    "xnet.hop.submit.L*": ("summary", "submit hop time by source level"),
+    "xnet.hop.topdown": ("summary", "top-down hop time"),
+    "xnet.hop.topdown.L*": ("summary", "top-down hop time by level"),
+    "xnet.hop.bottomup": ("summary", "bottom-up hop time"),
+    "xnet.hop.bottomup.L*": ("summary", "bottom-up hop time by level"),
+    "xnet.e2e.topdown": ("summary", "end-to-end top-down delivery time"),
+    "xnet.e2e.bottomup": ("summary", "end-to-end bottom-up delivery time"),
+    "xnet.e2e.path": ("summary", "end-to-end delivery time via an LCA path"),
+    # telemetry: invariant monitor
+    "invariant.violations": ("counter", "invariant violations recorded (all auditors)"),
+    "invariant.*.violations": ("counter", "invariant violations per auditor"),
+    "invariant.exactly_once.fork_replays": ("counter", "cross-message replays on rival forks"),
+    "invariant.exactly_once.nonce_gaps": ("counter", "cross-message nonce gaps observed"),
+    # telemetry: health probe (per-subnet time series)
+    "health.*.height": ("gauge", "subnet chain height over time"),
+    "health.*.mempool": ("gauge", "subnet mempool depth over time"),
+    "health.*.pending_crossmsgs": ("gauge", "pending cross-messages over time"),
+    "health.*.checkpoint_lag": ("gauge", "checkpoint lag over time"),
+    # telemetry: sampling profiler
+    "profile.samples": ("gauge", "profiler samples taken"),
+    "profile.interval_s": ("gauge", "profiler sampling interval"),
+    "profile.sampler_s": ("gauge", "wall time spent inside the sampler"),
+    "profile.cpu_share.*": ("gauge", "sampled CPU share per dispatch label"),
+    "profile.alloc_bytes.*": ("gauge", "sampled allocation bytes per dispatch label"),
+    "mem.allocated_blocks": ("gauge", "tracemalloc allocated blocks"),
+    "mem.*": ("gauge", "process memory info fields"),
+    # sim scheduler / dispatch bus
+    "sim.dispatch.*.events": ("gauge", "events executed per dispatch label"),
+    "sim.dispatch.*.wall_s": ("gauge", "cumulative wall time per dispatch label"),
+    "sim.dispatch.*.wall_max_s": ("gauge", "max single-event wall time per label"),
+    "sim.timer.errors.*": ("counter", "exceptions raised by a recurring timer"),
+    # storage CID cache (emitted by the benchmark harness)
+    "cid.cache.*": ("counter", "content-id cache hits/misses by kind"),
+}
+
+
+def _catalog_entry(raw: str):
+    """The ``(type, help)`` catalog entry a raw metric name falls under.
+
+    Exact match wins; otherwise the most specific (longest) wildcard
+    pattern, with ``*`` matching any run — good enough for HELP lookup
+    since interpolated values never contain dots.
+    """
+    entry = METRIC_CATALOG.get(raw)
+    if entry is not None:
+        return entry
+    for pattern in sorted(METRIC_CATALOG, key=lambda p: (-len(p), p)):
+        if "*" not in pattern:
+            continue
+        regex = re.escape(pattern).replace("\\*", ".*")
+        if re.fullmatch(regex, raw):
+            return METRIC_CATALOG[pattern]
+    return None
+
+
 def _prom_name(name: str) -> str:
     cleaned = _NAME_RE.sub("_", name)
     if not cleaned or not (cleaned[0].isalpha() or cleaned[0] in "_:"):
@@ -109,9 +255,11 @@ def _escape_label_value(value: str) -> str:
 def to_prometheus(sim) -> str:
     """Render the sim's metrics registry in Prometheus text format.
 
-    Each family gets ``# HELP`` (the original dotted metric name, since
-    the sanitised family name loses it) and ``# TYPE`` lines, and label
-    values are escaped, so the output passes ``promtool check metrics``.
+    Each family gets ``# HELP`` (the original dotted metric name — the
+    sanitised family name loses it — plus the :data:`METRIC_CATALOG`
+    description when the name falls under a declared family) and
+    ``# TYPE`` lines, and label values are escaped, so the output passes
+    ``promtool check metrics``.
     """
     metrics = sim.metrics
     lines: list[str] = []
@@ -121,7 +269,9 @@ def to_prometheus(sim) -> str:
         if name in emitted:  # sanitisation collision: keep the first
             return
         emitted.add(name)
-        lines.append(f"# HELP {name} {_escape_help(raw)}")
+        entry = _catalog_entry(raw)
+        help_text = raw if entry is None else f"{raw}: {entry[1]}"
+        lines.append(f"# HELP {name} {_escape_help(help_text)}")
         lines.append(f"# TYPE {name} {kind}")
         lines.extend(body)
 

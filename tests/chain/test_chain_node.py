@@ -1,5 +1,5 @@
-"""Focused unit tests for ChainNode: orphans, reorgs, commit notifications,
-mempool hygiene and state-root enforcement."""
+"""Focused unit tests for NodeRuntime's chain behaviour: orphans, reorgs,
+commit notifications, mempool hygiene and state-root enforcement."""
 
 import pytest
 
@@ -7,7 +7,7 @@ from repro.crypto.cid import cid_of
 from repro.crypto.keys import KeyPair
 from repro.chain.block import BlockHeader, FullBlock
 from repro.chain.genesis import GenesisParams, build_genesis
-from repro.chain.node import ChainNode, subnet_topic
+from repro.runtime.node import NodeRuntime, subnet_topic
 from repro.consensus.base import ConsensusParams, Validator, ValidatorSet
 from repro.net.gossip import GossipNetwork
 from repro.net.topology import Topology, UniformLatency
@@ -28,7 +28,7 @@ def make_node(engine="poa", seed=1, n_validators=1):
         Validator(node_id=f"cn#{i}", address=keys[i].address, power=1)
         for i in range(n_validators)
     )
-    node = ChainNode(
+    node = NodeRuntime(
         sim=sim, node_id="cn#0", keypair=keys[0], subnet_id="/root",
         genesis_block=genesis_block, genesis_vm=genesis_vm, gossip=gossip,
         validators=validators, consensus_params=ConsensusParams(engine=engine),

@@ -1,0 +1,6 @@
+"""A local exporter catalog: one live family, one stale one."""
+
+METRIC_CATALOG = {
+    "app.requests": ("counter", "requests served"),
+    "app.stale.family": ("gauge", "leftover after a rename — never emitted"),
+}

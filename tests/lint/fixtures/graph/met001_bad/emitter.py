@@ -1,0 +1,6 @@
+"""Emits one declared family and one typo'd undeclared one (MET001 both ways)."""
+
+
+def serve(sim):
+    sim.metrics.counter("app.requests").inc()
+    sim.metrics.counter("app.request").inc()  # typo: singular, undeclared

@@ -1,0 +1,6 @@
+"""A local exporter catalog covering every emitted family."""
+
+METRIC_CATALOG = {
+    "app.requests": ("counter", "requests served"),
+    "app.latency.*": ("histogram", "per-phase latency"),
+}

@@ -1,0 +1,5 @@
+"""Subscribes to a different topic than the producer publishes."""
+
+
+def wire(gossip, node_id):
+    gossip.subscribe(node_id, "blocks:old", lambda env: None)

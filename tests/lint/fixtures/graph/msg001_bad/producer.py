@@ -1,0 +1,5 @@
+"""Publishes a topic nobody subscribes to (MSG001)."""
+
+
+def announce(gossip, node_id, payload):
+    gossip.publish(node_id, "blocks:new", payload)

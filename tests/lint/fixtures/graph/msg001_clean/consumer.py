@@ -1,0 +1,5 @@
+"""Subscribes with a literal that the published 'blocks:*' family covers."""
+
+
+def wire(gossip, node_id):
+    gossip.subscribe(node_id, "blocks:new", lambda env: None)

@@ -1,0 +1,7 @@
+"""Publishes via the helper; resolves to the 'blocks:*' family."""
+
+from topics import block_topic
+
+
+def announce(gossip, node_id, height, payload):
+    gossip.publish(node_id, block_topic(height), payload)

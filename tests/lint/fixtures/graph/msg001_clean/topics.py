@@ -1,0 +1,5 @@
+"""Topic naming helper shared by producer and consumer."""
+
+
+def block_topic(height):
+    return f"blocks:{height}"

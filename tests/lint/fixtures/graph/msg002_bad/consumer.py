@@ -1,0 +1,6 @@
+"""One live subscription, one dead one (MSG002 on 'votes:legacy')."""
+
+
+def wire(gossip, node_id, handler):
+    gossip.subscribe(node_id, "votes:final", handler)
+    gossip.subscribe(node_id, "votes:legacy", handler)

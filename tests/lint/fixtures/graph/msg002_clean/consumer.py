@@ -1,0 +1,5 @@
+"""Every subscription has a matching publisher."""
+
+
+def wire(gossip, node_id, handler):
+    gossip.subscribe(node_id, "votes:final", handler)

@@ -1,0 +1,5 @@
+"""Publishes only the final-votes topic."""
+
+
+def broadcast(gossip, node_id, vote):
+    gossip.publish(node_id, "votes:final", vote)

@@ -1,0 +1,5 @@
+"""Calls a singular endpoint name the server never exposed (MSG003)."""
+
+
+def fetch(rpc, src, dst):
+    return rpc.call(src, dst, "chain:block", {"from": 0})

@@ -1,0 +1,5 @@
+"""Serves the block-fetch RPC endpoint."""
+
+
+def register(rpc, node_id, handler):
+    rpc.expose(node_id, "chain:blocks", handler)

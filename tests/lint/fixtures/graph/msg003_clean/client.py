@@ -1,0 +1,5 @@
+"""Calls the endpoint the server actually exposes."""
+
+
+def fetch(rpc, src, dst):
+    return rpc.call(src, dst, "chain:blocks", {"from": 0})

@@ -1,0 +1,6 @@
+"""Python-side references resolve against the same registries."""
+
+
+def build(expectation, fault_from_spec):
+    expectation.violates("supply")
+    return fault_from_spec({"kind": "partition"})

@@ -1,0 +1,17 @@
+"""Declares the auditor and fault registries the scenario keys into."""
+
+
+class Auditor:
+    name = ""
+
+
+class Fault:
+    KIND = ""
+
+
+class SupplyAuditor(Auditor):
+    name = "supply"
+
+
+class PartitionFault(Fault):
+    KIND = "partition"

@@ -55,6 +55,35 @@ def test_baseline_matches_by_content_not_line_number(tmp_path):
     assert report4.stale_baseline == [entry]
 
 
+def test_baseline_survives_whitespace_only_reformat(tmp_path):
+    bad = _write(tmp_path, "repro/hierarchy/mod.py", BAD_SOURCE)
+    report = lint_paths([str(tmp_path)])
+    (finding,) = report.findings
+    baseline = Baseline(entries={format_baseline_entry(finding): "benign"})
+
+    # Re-indent the flagged line: entries match on the *stripped* content.
+    reformatted = BAD_SOURCE.replace(
+        "    block['ts'] = time.time()", "        block['ts'] = time.time()"
+    ).replace("def stamp(block):", "def stamp(block):\n    if True:")
+    with open(bad, "w", encoding="utf-8") as handle:
+        handle.write(reformatted)
+    report2 = lint_paths([str(tmp_path)], baseline=baseline)
+    assert report2.findings == []
+    assert len(report2.baselined) == 1
+    assert report2.stale_baseline == []
+
+
+def test_dead_baseline_entry_is_reported_stale(tmp_path):
+    _write(tmp_path, "repro/hierarchy/mod.py", "x = 1\n")
+    ghost = "DET001|repro/hierarchy/deleted.py|t = time.time()"
+    baseline = Baseline(entries={ghost: "file was removed"})
+    report = lint_paths([str(tmp_path)], baseline=baseline)
+    # Nothing matches the entry any more: surfaced for pruning, run still ok.
+    assert report.stale_baseline == [ghost]
+    assert report.findings == []
+    assert report.ok
+
+
 def test_load_baseline_parses_comments_as_justification(tmp_path):
     path = tmp_path / "LINT_BASELINE.txt"
     path.write_text(

@@ -3,7 +3,6 @@
 from repro.crypto.keys import KeyPair
 from repro.baselines import ShardedBaseline, SingleChainBaseline
 from repro.chain.genesis import GenesisParams, build_genesis
-from repro.chain.node import ChainNode
 from repro.consensus.base import ConsensusParams
 from repro.hierarchy import HierarchicalSystem
 from repro.hierarchy.node import SubnetNode
@@ -98,8 +97,7 @@ def test_replay_chain_syncs_new_nodes_from_source():
 
 
 def test_every_node_flavour_shares_the_runtime():
-    """ChainNode, SubnetNode and both baselines all run on NodeRuntime."""
-    assert issubclass(ChainNode, NodeRuntime)
+    """SubnetNode and both baselines all run on NodeRuntime."""
     assert issubclass(SubnetNode, NodeRuntime)
     single = SingleChainBaseline(seed=2, validators=2, block_time=0.5)
     sharded = ShardedBaseline(
